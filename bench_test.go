@@ -1,0 +1,151 @@
+// Package heteronoc's root benchmark harness: one benchmark per paper
+// table/figure (regenerating the artifact at a reduced scale per
+// iteration) plus microbenchmarks of the simulator core. Run the full
+// regeneration with cmd/experiments -scale full; these benches exist to
+// exercise every experiment path under `go test -bench` and to track
+// simulator performance.
+package heteronoc
+
+import (
+	"math/rand"
+	"testing"
+
+	"heteronoc/internal/cmp"
+	"heteronoc/internal/core"
+	"heteronoc/internal/experiments"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/routing"
+	"heteronoc/internal/topology"
+	"heteronoc/internal/trace"
+	"heteronoc/internal/traffic"
+)
+
+// newBenchRng returns the deterministic source used by the benchmarks.
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// benchScale keeps per-iteration work bounded.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:             "bench",
+		WarmupPackets:    100,
+		MeasurePackets:   1500,
+		SweepPoints:      3,
+		CMPWarmupEntries: 8000,
+		CMPCycles:        2000,
+		DSEPackets:       200,
+		DSECandidates:    4,
+	}
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	sc.Name = "bench-" + id // defeat cross-benchmark caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1MeshUtilization(b *testing.B) { runExp(b, "fig1") }
+func BenchmarkFig2OtherTopologies(b *testing.B) { runExp(b, "fig2") }
+func BenchmarkTable1RouterModel(b *testing.B)   { runExp(b, "table1") }
+func BenchmarkFig7URSweep(b *testing.B)         { runExp(b, "fig7") }
+func BenchmarkFig8Breakdowns(b *testing.B)      { runExp(b, "fig8") }
+func BenchmarkFig9NNSweep(b *testing.B)         { runExp(b, "fig9") }
+func BenchmarkFig10Torus(b *testing.B)          { runExp(b, "fig10") }
+func BenchmarkFig11Apps(b *testing.B)           { runExp(b, "fig11") }
+func BenchmarkFig12IPC(b *testing.B)            { runExp(b, "fig12") }
+func BenchmarkFig13MemCtrl(b *testing.B)        { runExp(b, "fig13") }
+func BenchmarkFig14AsymCMP(b *testing.B)        { runExp(b, "fig14") }
+func BenchmarkDSE4x4(b *testing.B)              { runExp(b, "dse") }
+
+// BenchmarkNetworkCycle measures raw simulator speed: cycles/sec of the
+// baseline 8x8 mesh under moderate uniform-random load.
+func BenchmarkNetworkCycle(b *testing.B) {
+	l := core.NewBaseline(8, 8)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeteroNetworkCycle is the same for Diagonal+BL (wide links,
+// split-datapath allocator).
+func BenchmarkHeteroNetworkCycle(b *testing.B) {
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCMPCycle measures full-system (64 cores + coherence + NoC +
+// DRAM) cycles/sec.
+func BenchmarkCMPCycle(b *testing.B) {
+	p, err := trace.ProfileByName("SPECjbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trs := make([]trace.Reader, 64)
+	for i := range trs {
+		trs[i] = trace.NewGenerator(p, i, 128)
+	}
+	s, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: trs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Warmup(8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableRouteBuild measures zig-zag table construction (64
+// Dijkstra passes with big-router discounts).
+func BenchmarkTableRouteBuild(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	big := l.BigSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.NewTableXY(m, routing.TableXYConfig{Flagged: []int{0, 7, 56, 63}, Big: big})
+	}
+}

@@ -1,0 +1,76 @@
+// Command dse runs the 4x4 design-space exploration of Section 2
+// (footnote 4): it enumerates big-router placements, scores them with short
+// uniform-random probes, and reports the best layouts along with where the
+// diagonal placement ranks.
+//
+// Usage:
+//
+//	dse [-big 4] [-max 100] [-packets 1500] [-rate 0.06] [-bl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteronoc/internal/dse"
+)
+
+func main() {
+	bigCount := flag.Int("big", 4, "number of big routers to place on the 4x4 mesh")
+	maxCand := flag.Int("max", 100, "maximum candidates to score (0 = all, symmetry-reduced)")
+	packets := flag.Int("packets", 1500, "measured packets per probe")
+	rate := flag.Float64("rate", 0.06, "probe injection rate")
+	bl := flag.Bool("bl", true, "evaluate +BL (links redistributed) instead of +B")
+	anneal := flag.Int("anneal", 0, "instead of the 4x4 sweep, run N simulated-annealing steps on the 8x8/16-big space")
+	flag.Parse()
+
+	if *anneal > 0 {
+		res, err := dse.Anneal(dse.AnnealConfig{
+			Eval: dse.EvalConfig{
+				W: 8, H: 8, BigCount: 16, LinkRedist: *bl,
+				InjectionRate: *rate, Packets: *packets, Seed: 7,
+			},
+			Steps: *anneal,
+			Seed:  11,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("8x8 anneal over %d steps (%d accepted)\n", res.Steps, res.Accepted)
+		fmt.Printf("random start: %.1f cycles\n", res.Initial.AvgLatency)
+		fmt.Printf("best found:   %.1f cycles at %v\n", res.Best.AvgLatency, res.Best.Big)
+		return
+	}
+
+	fmt.Printf("placements of %d big routers on 4x4: %s total (paper footnote 4)\n",
+		*bigCount, dse.Combinations(16, *bigCount))
+	res, err := dse.Explore(dse.EvalConfig{
+		W: 4, H: 4,
+		BigCount:       *bigCount,
+		LinkRedist:     *bl,
+		InjectionRate:  *rate,
+		Packets:        *packets,
+		ReduceSymmetry: true,
+		MaxCandidates:  *maxCand,
+		Seed:           7,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scored %d symmetry-reduced candidates at rate %.3f\n\n", len(res), *rate)
+	show := 10
+	if len(res) < show {
+		show = len(res)
+	}
+	fmt.Println("rank  avg-latency  saturated  big routers")
+	for i := 0; i < show; i++ {
+		c := res[i]
+		fmt.Printf("%4d  %9.1f    %-9v %v\n", i+1, c.AvgLatency, c.Saturated, c.Big)
+	}
+	if rank, ok := dse.DiagonalScore(res, 4, 4); ok {
+		fmt.Printf("\ndiagonal placement ranks #%d of %d\n", rank, len(res))
+	}
+}

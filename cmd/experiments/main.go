@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|fig1|fig2|table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|dse]
+//	            [-scale quick|full] [-out results.md]
+//
+// Each experiment prints a markdown report with the regenerated data and
+// the headline metrics compared in EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"heteronoc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id, comma list, 'all' (paper), or 'everything' (paper + extensions)")
+	scale := flag.String("scale", "quick", "simulation scale: quick or full")
+	out := flag.String("out", "", "write markdown to this file instead of stdout")
+	figdir := flag.String("figdir", "", "also write each experiment's SVG figures into this directory")
+	jsonOut := flag.String("jsonout", "", "also write all metrics as JSON to this file")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Name)
+		}
+		fmt.Println("extensions:")
+		for _, r := range experiments.Extensions() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var runners []experiments.Runner
+	switch *exp {
+	case "all":
+		runners = experiments.All()
+	case "everything":
+		runners = experiments.AllWithExtensions()
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	var b strings.Builder
+	metrics := map[string]map[string]float64{}
+	fmt.Fprintf(&b, "# HeteroNoC experiment results (scale: %s)\n\n", sc.Name)
+	for _, r := range runners {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...", r.ID, r.Name)
+		rep, err := r.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\n%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+		b.WriteString(rep.Markdown())
+		metrics[rep.ID] = rep.Metrics
+		if *figdir != "" {
+			if err := os.MkdirAll(*figdir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, fig := range rep.Figures {
+				path := filepath.Join(*figdir, fig.Name+".svg")
+				if err := os.WriteFile(path, []byte(fig.SVG), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

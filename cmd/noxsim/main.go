@@ -1,0 +1,160 @@
+// Command noxsim runs a single network-only simulation and prints the
+// measured latency, throughput and power.
+//
+// Usage:
+//
+//	noxsim [-layout Baseline|Center+B|Center+BL|Row2_5+B|Row2_5+BL|Diagonal+B|Diagonal+BL]
+//	       [-pattern ur|nn|transpose|bitcomp] [-rate 0.02] [-selfsimilar]
+//	       [-torus] [-warmup 1000] [-packets 100000] [-seed 42]
+//	       [-sweep lo:hi:step] [-csv]
+//
+// With -sweep, the single measurement is replaced by a load sweep and one
+// result line per injection rate; -csv emits machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/power"
+	"heteronoc/internal/stats"
+	"heteronoc/internal/traffic"
+)
+
+// layoutByName parses the Figure 3 configuration names on the 8x8 mesh.
+func layoutByName(name string) (core.Layout, error) {
+	return core.LayoutByName(name, 8, 8)
+}
+
+func main() {
+	layoutName := flag.String("layout", "Diagonal+BL", "network configuration (Figure 3 names)")
+	configPath := flag.String("config", "", "JSON layout spec file (overrides -layout; see core.LayoutSpec)")
+	patternName := flag.String("pattern", "ur", "traffic pattern: ur, nn, transpose, bitcomp")
+	rate := flag.Float64("rate", 0.02, "injection rate in packets/node/cycle")
+	selfSim := flag.Bool("selfsimilar", false, "use the self-similar (Pareto on/off) process")
+	torus := flag.Bool("torus", false, "run on an 8x8 torus instead of a mesh")
+	warmup := flag.Int("warmup", 1000, "warmup packets")
+	packets := flag.Int("packets", 100000, "measured packets")
+	seed := flag.Int64("seed", 42, "RNG seed")
+	sweep := flag.String("sweep", "", "sweep injection rates lo:hi:step instead of a single -rate run")
+	csvOut := flag.Bool("csv", false, "emit CSV (rate,latency_cycles,latency_ns,accepted,saturated,power_w,combine)")
+	show := flag.Bool("show", false, "print the router placement map before running")
+	flag.Parse()
+
+	var l core.Layout
+	var err error
+	if *configPath != "" {
+		data, rerr := os.ReadFile(*configPath)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(2)
+		}
+		l, err = core.ParseLayoutJSON(data)
+	} else {
+		l, err = layoutByName(*layoutName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *torus && !l.Mesh.Wrap() {
+		l = l.OnTorus()
+	}
+	var pattern traffic.Pattern
+	switch *patternName {
+	case "ur":
+		pattern = traffic.UniformRandom{N: l.Mesh.NumTerminals()}
+	case "nn":
+		pattern = traffic.NearestNeighbor{Grid: l.Mesh}
+	case "transpose":
+		pattern = traffic.Transpose{Grid: l.Mesh}
+	case "bitcomp":
+		pattern = traffic.BitComplement{N: l.Mesh.NumTerminals()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *patternName)
+		os.Exit(2)
+	}
+	if *show {
+		fmt.Print(l.Render())
+		fmt.Println()
+	}
+	rates := []float64{*rate}
+	if *sweep != "" {
+		var lo, hi, step float64
+		if _, err := fmt.Sscanf(*sweep, "%f:%f:%f", &lo, &hi, &step); err != nil || step <= 0 || hi < lo {
+			fmt.Fprintf(os.Stderr, "bad -sweep %q (want lo:hi:step)\n", *sweep)
+			os.Exit(2)
+		}
+		rates = nil
+		for v := lo; v <= hi+step/2; v += step {
+			rates = append(rates, v)
+		}
+	}
+	if *csvOut {
+		fmt.Println("rate,latency_cycles,latency_ns,accepted,saturated,power_w,combine")
+	}
+	for _, rt := range rates {
+		runOnce(l, pattern, rt, *selfSim, *warmup, *packets, *seed, *csvOut || *sweep != "", *csvOut)
+	}
+}
+
+// runOnce measures one operating point and prints it.
+func runOnce(l core.Layout, pattern traffic.Pattern, rate float64, selfSim bool,
+	warmup, packets int, seed int64, brief, csvOut bool) {
+	net, err := l.Network()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var proc traffic.Process
+	if selfSim {
+		proc = traffic.NewSelfSimilar(l.Mesh.NumTerminals(), rate)
+	} else {
+		proc = traffic.Bernoulli{P: rate}
+	}
+	res, err := traffic.Run(net, traffic.RunConfig{
+		Pattern:        pattern,
+		Process:        proc,
+		DataFlits:      l.DataPacketFlits(),
+		WarmupPackets:  warmup,
+		MeasurePackets: packets,
+		Seed:           seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pw := power.Network(power.NewModel(), l, res.Activity)
+	if csvOut {
+		fmt.Printf("%.4f,%.2f,%.2f,%.4f,%v,%.2f,%.3f\n",
+			rate, res.AvgLatency, res.AvgLatency/l.FreqGHz(), res.AcceptedRate, res.Saturated, pw.Total(), res.CombineRate)
+		return
+	}
+	if brief {
+		fmt.Printf("rate=%.4f latency=%.1fcyc (%.1fns) accepted=%.4f sat=%v power=%.1fW\n",
+			rate, res.AvgLatency, res.AvgLatency/l.FreqGHz(), res.AcceptedRate, res.Saturated, pw.Total())
+		return
+	}
+	fmt.Printf("layout         %s (%s, %.2f GHz, %d-flit data packets)\n",
+		l.Name, l.Mesh.Name(), l.FreqGHz(), l.DataPacketFlits())
+	fmt.Printf("traffic        %s x %s\n", pattern.Name(), proc.Name())
+	fmt.Printf("avg latency    %.2f cycles = %.2f ns\n", res.AvgLatency, res.AvgLatency/l.FreqGHz())
+	fmt.Printf("  queuing      %.2f cycles\n", res.QueuingLatency)
+	fmt.Printf("  blocking     %.2f cycles\n", res.BlockingLatency)
+	fmt.Printf("  transfer     %.2f cycles\n", res.TransferLatency)
+	fmt.Printf("avg hops       %.2f\n", res.AvgHops)
+	fmt.Printf("tail latency   p50 %.0f / p95 %.0f / p99 %.0f cycles\n",
+		res.P50, res.P95, res.P99)
+	fmt.Printf("accepted       %.4f packets/node/cycle (offered %.4f)\n", res.AcceptedRate, res.OfferedRate)
+	fmt.Printf("saturated      %v\n", res.Saturated)
+	fmt.Printf("combining      %.1f%% of busy wide-link cycles\n", 100*res.CombineRate)
+	fmt.Printf("network power  %.2f W (buffers %.2f, xbar %.2f, arb %.2f, links %.2f)\n",
+		pw.Total(), pw.Buffers, pw.Xbar, pw.Arbiters, pw.Links)
+	var util stats.Summary
+	for _, a := range res.Activity {
+		util.Add(a.LinkUtil)
+	}
+	fmt.Printf("link util      mean %.1f%%, max %.1f%%\n", 100*util.Mean(), 100*util.Max())
+}

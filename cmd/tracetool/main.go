@@ -1,0 +1,127 @@
+// Command tracetool works with the repository's trace file format: it
+// records synthetic benchmark traces to disk (so they can be analyzed or
+// shipped), inspects trace files, and prints entries — the bridge for
+// users who want to replay their own memory traces through the CMP
+// simulator (see internal/trace.FileReader).
+//
+// Usage:
+//
+//	tracetool gen  -bench SPECjbb -core 0 -n 100000 -out jbb0.trc
+//	tracetool info -in jbb0.trc
+//	tracetool head -in jbb0.trc -n 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteronoc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "head":
+		head(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracetool gen|info|head [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "SPECjbb", "benchmark profile name")
+	core := fs.Int("core", 0, "core id (selects the deterministic stream)")
+	n := fs.Int("n", 100000, "entries to record")
+	lineBytes := fs.Int("line", 128, "cache line size in bytes")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gen: -out is required")
+		os.Exit(2)
+	}
+	p, err := trace.ProfileByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Record(f, trace.NewGenerator(p, *core, *lineBytes), *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d entries of %s/core%d to %s\n", *n, *bench, *core, *out)
+}
+
+func open(path string) *trace.FileReader {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return r
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "info: -in is required")
+		os.Exit(2)
+	}
+	r := open(*in)
+	st := trace.Summarize(r, 0)
+	fmt.Printf("entries        %d\n", st.Entries)
+	fmt.Printf("instructions   %d (memory ops %.1f%%)\n", st.Instructions(), 100*st.MemFrac())
+	fmt.Printf("writes         %.1f%%\n", 100*st.WriteFrac())
+	fmt.Printf("distinct lines %d (footprint %.1f KiB at 128B lines)\n",
+		st.DistinctLines, float64(st.DistinctLines)*128/1024)
+	fmt.Printf("same/next-line %.1f%%\n", 100*st.LocalityFrac())
+	fmt.Printf("mean gap       %.2f\n", st.MeanGap())
+}
+
+func head(args []string) {
+	fs := flag.NewFlagSet("head", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	n := fs.Int("n", 10, "entries to print")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "head: -in is required")
+		os.Exit(2)
+	}
+	r := open(*in)
+	for i := 0; i < *n && !r.Exhausted(); i++ {
+		e := r.Next()
+		if r.Exhausted() {
+			break
+		}
+		op := "R"
+		if e.Write {
+			op = "W"
+		}
+		fmt.Printf("%6d: gap=%-4d %s %#x\n", i, e.Gap, op, e.Addr)
+	}
+}

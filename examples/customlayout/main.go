@@ -1,0 +1,76 @@
+// Customlayout shows the programmable side of the library: define a
+// heterogeneous layout from a JSON spec, check the paper's Section 2
+// resource constraints against it, measure it, and then let the simulated
+// annealer search for a better placement with the same budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/dse"
+	"heteronoc/internal/traffic"
+)
+
+const spec = `{
+  "name": "knights",
+  "width": 8, "height": 8,
+  "big": [10, 13, 17, 22, 41, 46, 50, 53, 26, 29, 34, 37, 19, 20, 43, 44],
+  "linkRedist": true
+}`
+
+func measure(l core.Layout) float64 {
+	net, err := l.Network()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := traffic.Run(net, traffic.RunConfig{
+		Pattern:        traffic.UniformRandom{N: 64},
+		Process:        traffic.Bernoulli{P: 0.048},
+		DataFlits:      l.DataPacketFlits(),
+		WarmupPackets:  500,
+		MeasurePackets: 10000,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.AvgLatency
+}
+
+func main() {
+	l, err := core.ParseLayoutJSON([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := l.Accounting()
+	fmt.Printf("layout %q: %d big routers, buffer bits %d, bisection %d bits\n",
+		l.Name, len(core.SpecOf(l).Big), res.BufferBits, res.BisectionBits)
+	fmt.Printf("Section 2 power guideline holds: %v\n\n", l.PowerInequalityHolds())
+
+	custom := measure(l)
+	diag := measure(core.NewLayout(core.PlacementDiagonal, 8, 8, true))
+	fmt.Printf("UR @0.048: %-10s %.1f cycles\n", l.Name, custom)
+	fmt.Printf("UR @0.048: %-10s %.1f cycles\n\n", "Diagonal+BL", diag)
+
+	fmt.Println("annealing 40 steps over the 8x8 placement space...")
+	ann, err := dse.Anneal(dse.AnnealConfig{
+		Eval: dse.EvalConfig{
+			W: 8, H: 8, BigCount: 16, LinkRedist: true,
+			InjectionRate: 0.048, Packets: 2000, Seed: 7,
+		},
+		Steps: 40,
+		Seed:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best found: %.1f cycles at %v\n", ann.Best.AvgLatency, ann.Best.Big)
+	best := core.NewCustom("annealed", 8, 8, ann.Best.Big, true)
+	data, err := core.LayoutJSON(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspec of the annealed layout:\n%s\n", data)
+}

@@ -1,0 +1,94 @@
+// Loadsweep reproduces a Figure 7(a)-style load-latency study: it sweeps
+// the injection rate on the baseline and on the three +BL HeteroNoC
+// placements and draws the latency curves as an ASCII chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/traffic"
+)
+
+func main() {
+	layouts := []core.Layout{
+		core.NewBaseline(8, 8),
+		core.NewLayout(core.PlacementCenter, 8, 8, true),
+		core.NewLayout(core.PlacementRow25, 8, 8, true),
+		core.NewLayout(core.PlacementDiagonal, 8, 8, true),
+	}
+	rates := []float64{0.008, 0.016, 0.024, 0.032, 0.040, 0.048, 0.056, 0.064}
+	marks := []byte{'B', 'C', 'R', 'D'}
+
+	curves := make([][]float64, len(layouts))
+	for i, l := range layouts {
+		for _, rate := range rates {
+			net, err := l.Network()
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := traffic.Run(net, traffic.RunConfig{
+				Pattern:        traffic.UniformRandom{N: 64},
+				Process:        traffic.Bernoulli{P: rate},
+				DataFlits:      l.DataPacketFlits(),
+				WarmupPackets:  500,
+				MeasurePackets: 8000,
+				Seed:           42,
+				MaxCycles:      60000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			curves[i] = append(curves[i], res.AvgLatency/l.FreqGHz())
+		}
+		fmt.Printf("%c = %-12s", marks[i], l.Name)
+	}
+	fmt.Print("\n\n")
+
+	// ASCII chart: latency (ns) vs injection rate.
+	const height = 18
+	maxLat := 0.0
+	for _, c := range curves {
+		for _, v := range c {
+			if v > maxLat {
+				maxLat = v
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", len(rates)*7))
+	}
+	for i, c := range curves {
+		for x, v := range c {
+			y := height - 1 - int(v/maxLat*float64(height-1))
+			col := x*7 + i
+			grid[y][col] = marks[i]
+		}
+	}
+	fmt.Printf("latency (ns), max %.1f\n", maxLat)
+	for _, row := range grid {
+		fmt.Printf("| %s\n", row)
+	}
+	fmt.Printf("+%s\n  ", strings.Repeat("-", len(rates)*7))
+	for _, r := range rates {
+		fmt.Printf("%-7.3f", r)
+	}
+	fmt.Print("\n  injection rate (packets/node/cycle)\n")
+
+	fmt.Println("\nnumeric values (ns):")
+	fmt.Printf("%-8s", "rate")
+	for _, l := range layouts {
+		fmt.Printf("%14s", l.Name)
+	}
+	fmt.Println()
+	for x, r := range rates {
+		fmt.Printf("%-8.3f", r)
+		for i := range layouts {
+			fmt.Printf("%14.1f", curves[i][x])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module heteronoc
+
+go 1.22

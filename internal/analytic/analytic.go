@@ -1,0 +1,161 @@
+// Package analytic provides a closed-form latency model for the mesh
+// networks in this repository, used to cross-validate the cycle-accurate
+// simulator: zero-load latency from the pipeline geometry, and a low-load
+// contention estimate from per-channel M/D/1 waiting times under
+// deterministic X-Y routing. The simulator and the model are developed
+// independently, so agreement at low load is strong evidence against
+// systematic timing bugs (and the model doubles as a quick what-if tool
+// that runs in microseconds instead of seconds).
+package analytic
+
+import (
+	"heteronoc/internal/core"
+	"heteronoc/internal/topology"
+)
+
+// HopCycles is the simulator's per-hop pipeline cost: two router stages
+// plus one link stage.
+const HopCycles = 3
+
+// MeshModel is the analytical view of one layout under uniform random
+// traffic with X-Y routing.
+type MeshModel struct {
+	Layout core.Layout
+	// DataFlits is the packet length in flits.
+	DataFlits int
+
+	mesh *topology.Mesh
+	// chanLoad[r][p] is the expected flits/cycle crossing output port p of
+	// router r per unit injection rate (packets/node/cycle).
+	chanLoad map[[2]int]float64
+	avgHops  float64
+}
+
+// NewMeshModel precomputes per-channel loads by walking every (src, dst)
+// pair's X-Y path once.
+func NewMeshModel(l core.Layout, dataFlits int) *MeshModel {
+	m := &MeshModel{Layout: l, DataFlits: dataFlits, mesh: l.Mesh, chanLoad: map[[2]int]float64{}}
+	n := l.Mesh.NumTerminals()
+	pairs := 0
+	totalHops := 0
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			pairs++
+			totalHops += m.walk(src, dst)
+		}
+	}
+	// Normalize: each source emits `rate` packets/cycle spread uniformly
+	// over n-1 destinations; walk() accumulated one unit per pair.
+	for k := range m.chanLoad {
+		m.chanLoad[k] *= float64(dataFlits) / float64(n-1)
+	}
+	m.avgHops = float64(totalHops) / float64(pairs)
+	return m
+}
+
+// walk accumulates one unit of load along the X-Y path and returns its hop
+// count.
+func (m *MeshModel) walk(src, dst int) int {
+	r, _ := m.mesh.TerminalRouter(src)
+	dstR, _ := m.mesh.TerminalRouter(dst)
+	hops := 0
+	for r != dstR {
+		cx, cy := m.mesh.Coord(r)
+		dx, dy := m.mesh.Coord(dstR)
+		var port int
+		switch {
+		case cx < dx:
+			port = topology.PortEast
+		case cx > dx:
+			port = topology.PortWest
+		case cy < dy:
+			port = topology.PortSouth
+		default:
+			port = topology.PortNorth
+		}
+		m.chanLoad[[2]int{r, port}]++
+		link, _ := m.mesh.Neighbor(r, port)
+		r = link.Router
+		hops++
+	}
+	return hops
+}
+
+// AvgHops returns the uniform-random mean hop count (router-to-router).
+func (m *MeshModel) AvgHops() float64 { return m.avgHops }
+
+// slots returns the flit bandwidth of a channel under the layout.
+func (m *MeshModel) slots(r, p int) float64 {
+	if !m.Layout.IsHetero() || !m.Layout.LinkRedist {
+		return 1
+	}
+	wide := m.Layout.Class[r] == core.ClassBig
+	if link, ok := m.mesh.Neighbor(r, p); ok {
+		wide = wide || m.Layout.Class[link.Router] == core.ClassBig
+	}
+	if wide {
+		return 2
+	}
+	return 1
+}
+
+// MaxChannelUtil returns the utilization of the most-loaded channel at
+// injection rate lambda — the analytical saturation bound is the rate
+// where this reaches 1.
+func (m *MeshModel) MaxChannelUtil(lambda float64) float64 {
+	max := 0.0
+	for k, load := range m.chanLoad {
+		u := lambda * load / m.slots(k[0], k[1])
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// SaturationRate returns the injection rate (packets/node/cycle) at which
+// the hottest channel saturates.
+func (m *MeshModel) SaturationRate() float64 {
+	u := m.MaxChannelUtil(1)
+	if u == 0 {
+		return 0
+	}
+	return 1 / u
+}
+
+// ZeroLoadCycles is the contention-free packet latency: injection
+// alignment, NI hop, per-hop pipeline, and flit serialization (the
+// narrowest channel is assumed narrow — conservative for mixed paths).
+func (m *MeshModel) ZeroLoadCycles() float64 {
+	return 1 + 1 + HopCycles*(m.avgHops+1) + float64(m.DataFlits-1)
+}
+
+// LatencyCycles estimates average packet latency at rate lambda: zero-load
+// plus per-hop M/D/1 queueing, E[W] = rho * S / (2 (1 - rho)), with the
+// service time S of one packet on the channel. Valid well below
+// saturation; it diverges (like the real network) at the bound.
+func (m *MeshModel) LatencyCycles(lambda float64) float64 {
+	if len(m.chanLoad) == 0 {
+		return m.ZeroLoadCycles()
+	}
+	// Average waiting across the channels weighted by traversal frequency:
+	// each packet crosses avgHops channels, so accumulate load-weighted
+	// waiting over total traffic.
+	var totalWait, totalTraffic float64
+	for k, load := range m.chanLoad {
+		s := m.slots(k[0], k[1])
+		rho := lambda * load / s
+		if rho >= 1 {
+			rho = 0.999 // clamp: past saturation the estimate is meaningless
+		}
+		service := float64(m.DataFlits) / s
+		wait := rho * service / (2 * (1 - rho))
+		totalWait += wait * load // load ∝ traversal frequency
+		totalTraffic += load
+	}
+	perHopWait := totalWait / totalTraffic
+	return m.ZeroLoadCycles() + perHopWait*m.avgHops
+}

@@ -1,0 +1,227 @@
+// Package cache implements the set-associative write-back caches of the
+// CMP system model: per-core private L1s and the shared banked L2, with
+// true-LRU replacement and MSHR-style miss tracking support hooks.
+package cache
+
+import "fmt"
+
+// State is a MESI line state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Valid reports whether the state holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Line is one cache line. Payload carries controller-specific metadata
+// (the L2 banks attach directory entries here).
+type Line struct {
+	Tag     uint64
+	State   State
+	Payload any
+
+	lru int64
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// IndexShiftBits drops low line-address bits before set indexing.
+	// Banked caches whose bank is selected by the low bits (the L2: home
+	// tile = line mod 64) must skip those bits or only 1/64th of their
+	// sets would ever be used.
+	IndexShiftBits uint
+}
+
+// Cache is a set-associative array indexed by line address (byte address
+// >> line shift happens internally).
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	lines     [][]Line
+	tick      int64
+
+	// Statistics.
+	Hits, Misses, Evictions int64
+}
+
+// New builds a cache. Sizes must divide evenly.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	linesTotal := cfg.SizeBytes / cfg.LineBytes
+	if linesTotal%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", linesTotal, cfg.Ways))
+	}
+	sets := linesTotal / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	if 1<<shift != cfg.LineBytes {
+		panic("cache: line size must be a power of two")
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineShift: shift, lines: make([][]Line, sets)}
+	for i := range c.lines {
+		c.lines[i] = make([]Line, cfg.Ways)
+	}
+	return c
+}
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+func (c *Cache) set(lineAddr uint64) []Line {
+	return c.lines[(lineAddr>>c.cfg.IndexShiftBits)%uint64(c.sets)]
+}
+
+// Lookup returns the line holding lineAddr, updating LRU on hit. The
+// returned pointer stays valid until the line is evicted.
+func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Tag == lineAddr {
+			c.tick++
+			set[i].lru = c.tick
+			c.Hits++
+			return &set[i], true
+		}
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Peek is Lookup without LRU update or hit/miss accounting.
+func (c *Cache) Peek(lineAddr uint64) (*Line, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Tag == lineAddr {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Victim returns the line that Insert would replace: an invalid way when
+// one exists, otherwise the LRU way. It does not modify the cache.
+func (c *Cache) Victim(lineAddr uint64) *Line {
+	set := c.set(lineAddr)
+	var victim *Line
+	for i := range set {
+		if !set[i].State.Valid() {
+			return &set[i]
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// VictimWhere returns the replacement candidate for lineAddr among ways
+// whose tag passes the filter (invalid ways always pass): the LRU eligible
+// way, or nil when every way is filtered out. Controllers use it to avoid
+// evicting lines with in-flight transactions.
+func (c *Cache) VictimWhere(lineAddr uint64, ok func(tag uint64) bool) *Line {
+	set := c.set(lineAddr)
+	var victim *Line
+	for i := range set {
+		if !set[i].State.Valid() {
+			return &set[i]
+		}
+		if !ok(set[i].Tag) {
+			continue
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Insert places lineAddr into the cache in the given state, returning the
+// evicted line (by value) when a valid line had to be replaced. The caller
+// is responsible for writing back / recalling the victim first — use
+// Victim to inspect it before inserting.
+func (c *Cache) Insert(lineAddr uint64, st State, payload any) (evicted Line, hadVictim bool) {
+	if _, ok := c.Peek(lineAddr); ok {
+		panic(fmt.Sprintf("cache: double insert of line %#x", lineAddr))
+	}
+	v := c.Victim(lineAddr)
+	if v.State.Valid() {
+		evicted, hadVictim = *v, true
+		c.Evictions++
+	}
+	c.tick++
+	*v = Line{Tag: lineAddr, State: st, Payload: payload, lru: c.tick}
+	return evicted, hadVictim
+}
+
+// Invalidate drops a line, returning its prior contents.
+func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].State.Valid() && set[i].Tag == lineAddr {
+			old := set[i]
+			set[i] = Line{}
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.lines {
+		for i := range set {
+			if set[i].State.Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEach visits every valid line.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for _, set := range c.lines {
+		for i := range set {
+			if set[i].State.Valid() {
+				fn(&set[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package coherence
+
+import (
+	"fmt"
+
+	"heteronoc/internal/cmp/cache"
+)
+
+// AccessResult is the outcome of a core-side cache access.
+type AccessResult uint8
+
+const (
+	// Hit: the access completed against the L1.
+	Hit AccessResult = iota
+	// MissIssued: a request went to the home; the callback fires on fill.
+	MissIssued
+	// Coalesced: an outstanding MSHR covers the access; the callback fires
+	// when that miss fills.
+	Coalesced
+	// Blocked: no MSHR available (or a conflicting upgrade is in flight);
+	// the core must retry later.
+	Blocked
+)
+
+type l1MSHR struct {
+	line      uint64
+	wantM     bool
+	callbacks []func()
+	// prefetch marks speculative fills: they install tagged so a later
+	// demand hit can be counted as a useful prefetch.
+	prefetch bool
+}
+
+// L1 is the private-cache controller of one tile. It implements the
+// requester side of the MESI protocol: GetS/GetM on misses, silent E->M
+// upgrades, PutM write-backs with a write-back buffer that answers racing
+// forwards, and Inv/Fwd servicing.
+type L1 struct {
+	tile int
+	c    *cache.Cache
+	tp   Transport
+	// homeFor maps a line to its home tile.
+	homeFor func(line uint64) int
+	// Latency is charged on each message the L1 emits.
+	Latency int64
+	// MaxMSHR bounds outstanding misses (16 per core in Table 2).
+	MaxMSHR int
+	// PrefetchNextLine issues a GetS for line+1 on every demand miss
+	// (a simple stream prefetcher; off by default, used by the
+	// prefetcher ablation).
+	PrefetchNextLine bool
+
+	mshr map[uint64]*l1MSHR
+	// wb counts in-flight PutMs per line (between PutM and WBAck) so
+	// racing forwards can still be answered with data.
+	wb map[uint64]int
+
+	// Statistics.
+	Hits, Misses, Coalesces, Blocks, Upgrades, Invalidations int64
+	PrefetchesIssued, PrefetchesUseful                       int64
+}
+
+// NewL1 builds the L1 controller for a tile.
+func NewL1(tile int, c *cache.Cache, tp Transport, homeFor func(uint64) int) *L1 {
+	return &L1{
+		tile: tile, c: c, tp: tp, homeFor: homeFor,
+		Latency: 2, MaxMSHR: 16,
+		mshr: make(map[uint64]*l1MSHR),
+		wb:   make(map[uint64]int),
+	}
+}
+
+// Outstanding returns the number of in-flight misses.
+func (l *L1) Outstanding() int { return len(l.mshr) }
+
+// HasLine reports the L1 state of a line (for invariant checks).
+func (l *L1) HasLine(line uint64) (cache.State, bool) {
+	if e, ok := l.c.Peek(line); ok {
+		return e.State, true
+	}
+	return cache.Invalid, false
+}
+
+func (l *L1) send(t MsgType, line uint64, dst int, dirty bool) {
+	l.tp.Send(Msg{Type: t, Line: line, Src: l.tile, Dst: dst, Dirty: dirty}, l.Latency)
+}
+
+// Access performs a load (write=false) or store (write=true) against the
+// line. done fires when the access is architecturally complete (immediately
+// on a hit, at fill time on a miss).
+func (l *L1) Access(line uint64, write bool, done func()) AccessResult {
+	if e, ok := l.c.Lookup(line); ok {
+		if e.Payload != nil {
+			l.PrefetchesUseful++
+			e.Payload = nil
+		}
+		switch {
+		case !write:
+			l.Hits++
+			done()
+			return Hit
+		case e.State == cache.Modified:
+			l.Hits++
+			done()
+			return Hit
+		case e.State == cache.Exclusive:
+			// Silent E->M upgrade.
+			e.State = cache.Modified
+			l.Hits++
+			l.Upgrades++
+			done()
+			return Hit
+		default: // Shared + write: upgrade through the home.
+			if m, exists := l.mshr[line]; exists {
+				if m.wantM {
+					m.callbacks = append(m.callbacks, done)
+					l.Coalesces++
+					return Coalesced
+				}
+				l.Blocks++
+				return Blocked
+			}
+			if len(l.mshr) >= l.MaxMSHR {
+				l.Blocks++
+				return Blocked
+			}
+			l.Misses++
+			l.mshr[line] = &l1MSHR{line: line, wantM: true, callbacks: []func(){done}}
+			// Drop the S copy now: the home invalidates other sharers and
+			// replies DataM (it may also Inv us first, harmlessly).
+			l.c.Invalidate(line)
+			l.send(GetM, line, l.homeFor(line), false)
+			return MissIssued
+		}
+	}
+	// Miss.
+	if m, exists := l.mshr[line]; exists {
+		if !write || m.wantM {
+			m.callbacks = append(m.callbacks, done)
+			l.Coalesces++
+			return Coalesced
+		}
+		// A write behind a pending GetS: keep it simple, retry later.
+		l.Blocks++
+		return Blocked
+	}
+	if len(l.mshr) >= l.MaxMSHR {
+		l.Blocks++
+		return Blocked
+	}
+	l.Misses++
+	l.mshr[line] = &l1MSHR{line: line, wantM: write, callbacks: []func(){done}}
+	if write {
+		l.send(GetM, line, l.homeFor(line), false)
+	} else {
+		l.send(GetS, line, l.homeFor(line), false)
+	}
+	l.maybePrefetch(line + 1)
+	return MissIssued
+}
+
+// maybePrefetch issues a low-priority GetS for a predicted line when the
+// stream prefetcher is on and resources allow. Prefetch MSHRs carry no
+// callbacks and never block demand traffic (they leave one MSHR free).
+func (l *L1) maybePrefetch(line uint64) {
+	if !l.PrefetchNextLine {
+		return
+	}
+	if _, ok := l.c.Peek(line); ok {
+		return
+	}
+	if l.mshr[line] != nil || len(l.mshr) >= l.MaxMSHR-1 {
+		return
+	}
+	l.PrefetchesIssued++
+	l.mshr[line] = &l1MSHR{line: line, prefetch: true}
+	l.send(GetS, line, l.homeFor(line), false)
+}
+
+// Handle processes a protocol message addressed to this L1.
+func (l *L1) Handle(m Msg) {
+	switch m.Type {
+	case Data, DataE, DataM:
+		l.fill(m)
+	case Inv:
+		l.Invalidations++
+		dirty := false
+		if old, ok := l.c.Invalidate(m.Line); ok {
+			dirty = old.State == cache.Modified
+		} else if l.wb[m.Line] > 0 {
+			dirty = true
+		}
+		l.send(InvAck, m.Line, m.Src, dirty)
+	case FwdGetS:
+		if l.mshr[m.Line] != nil {
+			// With ordered per-pair delivery a forward can only find an
+			// open MSHR when our own re-request is still queued at the
+			// home (stale ownership from a silently dropped clean line):
+			// we hold nothing, so say so.
+			l.send(FwdNoData, m.Line, m.Src, false)
+			return
+		}
+		if e, ok := l.c.Peek(m.Line); ok {
+			dirty := e.State == cache.Modified
+			e.State = cache.Shared
+			l.send(FwdAckData, m.Line, m.Src, dirty)
+			return
+		}
+		if l.wb[m.Line] > 0 {
+			l.send(FwdAckData, m.Line, m.Src, true)
+			return
+		}
+		l.send(FwdNoData, m.Line, m.Src, false)
+	case FwdGetM:
+		if l.mshr[m.Line] != nil {
+			l.send(FwdNoData, m.Line, m.Src, false)
+			return
+		}
+		if old, ok := l.c.Invalidate(m.Line); ok {
+			l.send(FwdAckData, m.Line, m.Src, old.State == cache.Modified)
+			return
+		}
+		if l.wb[m.Line] > 0 {
+			l.send(FwdAckData, m.Line, m.Src, true)
+			return
+		}
+		l.send(FwdNoData, m.Line, m.Src, false)
+	case WBAck:
+		if l.wb[m.Line] > 1 {
+			l.wb[m.Line]--
+		} else {
+			delete(l.wb, m.Line)
+		}
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d got unexpected %v", l.tile, m.Type))
+	}
+}
+
+// fill installs a response line and completes waiting accesses.
+func (l *L1) fill(m Msg) {
+	mshr := l.mshr[m.Line]
+	if mshr == nil {
+		panic(fmt.Sprintf("coherence: L1 %d fill without MSHR line %#x", l.tile, m.Line))
+	}
+	st := cache.Shared
+	switch m.Type {
+	case DataE:
+		st = cache.Exclusive
+	case DataM:
+		st = cache.Modified
+	}
+	if mshr.wantM && st != cache.Modified {
+		panic(fmt.Sprintf("coherence: L1 %d GetM answered with %v", l.tile, m.Type))
+	}
+	// A racing Inv/FwdGetM between our GetM send and the DataM response
+	// cannot target us (the home serializes per line and we were not a
+	// sharer), so a plain insert is safe. Make room first.
+	if v := l.c.Victim(m.Line); v.State.Valid() {
+		l.evict(v)
+	}
+	var tag any
+	if mshr.prefetch {
+		tag = prefetchTag
+	}
+	l.c.Insert(m.Line, st, tag)
+	delete(l.mshr, m.Line)
+	for _, cb := range mshr.callbacks {
+		cb()
+	}
+}
+
+// prefetchTag marks speculative lines until their first demand hit.
+var prefetchTag any = struct{ prefetched bool }{true}
+
+// evict removes a victim line: dirty lines write back through the wb
+// buffer, clean lines drop silently.
+func (l *L1) evict(v *cache.Line) {
+	line := v.Tag
+	if v.State == cache.Modified {
+		l.wb[line]++
+		l.send(PutM, line, l.homeFor(line), true)
+	}
+	l.c.Invalidate(line)
+}

@@ -1,0 +1,237 @@
+// Package mem models the memory controllers and DRAM of the CMP system:
+// each controller owns a request queue and a set of parallel banks with a
+// fixed access latency (400 core cycles, Table 2), and tracks the
+// queuing/service statistics used by the memory-controller placement study
+// (Section 6).
+package mem
+
+import "container/heap"
+
+// Request is one DRAM access.
+type Request struct {
+	Line    uint64
+	Home    int  // tile to answer
+	Write   bool // write-backs produce no response
+	Arrived int64
+	// done is the completion time once scheduled.
+	done int64
+}
+
+// Controller is one memory controller with an FR-FCFS scheduler over
+// open-row banks: a request to a bank whose row buffer already holds the
+// right row is serviced faster (RowHitLatency) and preferred over older
+// row-miss requests to the same bank — the standard first-ready
+// first-come-first-served policy.
+type Controller struct {
+	// Terminal is the tile the controller is attached to.
+	Terminal int
+	// Latency is the row-miss DRAM access time in core cycles (Table 2's
+	// 400-cycle access).
+	Latency int64
+	// RowHitLatency is the access time when the row buffer hits.
+	RowHitLatency int64
+	// Banks is the number of requests serviced in parallel.
+	Banks int
+	// RowLines is the number of consecutive cache lines per DRAM row.
+	RowLines uint64
+
+	bankFree []int64  // cycle each bank frees up
+	openRow  []uint64 // row latched in each bank's row buffer
+	rowValid []bool
+	queue    []*Request
+	inFlight reqHeap
+
+	// Statistics.
+	Reads, Writes    int64
+	RowHits          int64
+	TotalQueueDelay  int64
+	TotalServiceTime int64
+	Completed        int64
+}
+
+// NewController builds a controller attached to a terminal.
+func NewController(terminal int) *Controller {
+	c := &Controller{Terminal: terminal, Latency: 400, RowHitLatency: 200, Banks: 8, RowLines: 64}
+	c.bankFree = make([]int64, c.Banks)
+	c.openRow = make([]uint64, c.Banks)
+	c.rowValid = make([]bool, c.Banks)
+	return c
+}
+
+// bankOf statically maps a line to a bank; rowOf gives its DRAM row.
+func (c *Controller) bankOf(line uint64) int   { return int((line / c.RowLines) % uint64(c.Banks)) }
+func (c *Controller) rowOf(line uint64) uint64 { return line / c.RowLines / uint64(c.Banks) }
+
+// Enqueue accepts a request at time now.
+func (c *Controller) Enqueue(r *Request, now int64) {
+	r.Arrived = now
+	if r.Write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	c.queue = append(c.queue, r)
+	c.schedule(now)
+}
+
+// schedule assigns queued requests to free banks under FR-FCFS: per free
+// bank, the oldest row-buffer-hitting request wins; if none hits, the
+// oldest request for that bank is served and re-opens the row.
+func (c *Controller) schedule(now int64) {
+	for {
+		moved := false
+		for bank := 0; bank < c.Banks; bank++ {
+			if c.bankFree[bank] > now {
+				continue
+			}
+			// First ready: oldest row hit for this bank, else oldest
+			// request for this bank.
+			pick := -1
+			for i, r := range c.queue {
+				if c.bankOf(r.Line) != bank {
+					continue
+				}
+				if c.rowValid[bank] && c.rowOf(r.Line) == c.openRow[bank] {
+					pick = i
+					break // queue is FIFO: first hit is the oldest hit
+				}
+				if pick < 0 {
+					pick = i
+				}
+			}
+			if pick < 0 {
+				continue
+			}
+			r := c.queue[pick]
+			c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+			lat := c.Latency
+			if c.rowValid[bank] && c.rowOf(r.Line) == c.openRow[bank] {
+				lat = c.RowHitLatency
+				c.RowHits++
+			}
+			c.openRow[bank] = c.rowOf(r.Line)
+			c.rowValid[bank] = true
+			r.done = now + lat
+			c.bankFree[bank] = r.done
+			c.TotalQueueDelay += now - r.Arrived
+			heap.Push(&c.inFlight, r)
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// Tick returns the requests that completed by cycle now. Write-backs
+// complete silently (they are popped but carry Write=true so the caller
+// can skip the response).
+func (c *Controller) Tick(now int64) []*Request {
+	c.schedule(now)
+	var out []*Request
+	for c.inFlight.Len() > 0 && c.inFlight[0].done <= now {
+		r := heap.Pop(&c.inFlight).(*Request)
+		c.Completed++
+		c.TotalServiceTime += r.done - r.Arrived
+		out = append(out, r)
+	}
+	return out
+}
+
+// QueueLen returns the number of requests waiting for a bank.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Busy reports whether any request is queued or in flight.
+func (c *Controller) Busy() bool { return len(c.queue) > 0 || c.inFlight.Len() > 0 }
+
+// AvgServiceTime returns the mean arrival-to-done time in cycles.
+func (c *Controller) AvgServiceTime() float64 {
+	if c.Completed == 0 {
+		return 0
+	}
+	return float64(c.TotalServiceTime) / float64(c.Completed)
+}
+
+type reqHeap []*Request
+
+func (h reqHeap) Len() int           { return len(h) }
+func (h reqHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h reqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x any)        { *h = append(*h, x.(*Request)) }
+func (h *reqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// Placement computes the memory-controller tile sets studied in Section 6
+// on a W x H mesh (Abts et al. layouts).
+type Placement string
+
+const (
+	// PlacementCorners is the Table 2 baseline: 4 controllers at the mesh
+	// corners.
+	PlacementCorners Placement = "corners"
+	// PlacementDiamond distributes 16 controllers in the diamond pattern.
+	PlacementDiamond Placement = "diamond"
+	// PlacementDiagonal puts 16 controllers on the two diagonals
+	// (co-located with the HeteroNoC big routers).
+	PlacementDiagonal Placement = "diagonal"
+)
+
+// Tiles returns the tile IDs hosting controllers for a placement on a
+// W x H router grid (row-major IDs).
+func Tiles(p Placement, w, h int) []int {
+	at := func(x, y int) int { return y*w + x }
+	switch p {
+	case PlacementCorners:
+		return []int{at(0, 0), at(w-1, 0), at(0, h-1), at(w-1, h-1)}
+	case PlacementDiagonal:
+		var out []int
+		seen := map[int]bool{}
+		for i := 0; i < w && i < h; i++ {
+			for _, t := range []int{at(i, i), at(w-1-i, i)} {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PlacementDiamond:
+		// Two controllers per row/column arranged as a diamond ring at
+		// distance w/4 from the center diamond-wise (Abts et al.'s X
+		// pattern rotated 45 degrees). For 8x8 this yields 16 tiles.
+		var out []int
+		seen := map[int]bool{}
+		cx, cy := float64(w-1)/2, float64(h-1)/2
+		r := float64(w) / 2
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d := abs64(float64(x)-cx) + abs64(float64(y)-cy)
+				if d > r-1 && d <= r && !seen[at(x, y)] {
+					seen[at(x, y)] = true
+					out = append(out, at(x, y))
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func abs64(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// bankFreeReset re-sizes the per-bank state after a test changes Banks.
+func (c *Controller) bankFreeReset() {
+	c.bankFree = make([]int64, c.Banks)
+	c.openRow = make([]uint64, c.Banks)
+	c.rowValid = make([]bool, c.Banks)
+}

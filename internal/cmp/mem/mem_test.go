@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSingleRequestLatency(t *testing.T) {
+	c := NewController(0)
+	c.Enqueue(&Request{Line: 1, Home: 2}, 100)
+	if got := c.Tick(499); len(got) != 0 {
+		t.Fatal("completed before latency elapsed")
+	}
+	got := c.Tick(500)
+	if len(got) != 1 || got[0].Line != 1 {
+		t.Fatalf("Tick(500) = %v", got)
+	}
+	if c.AvgServiceTime() != 400 {
+		t.Errorf("service time %v, want 400", c.AvgServiceTime())
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	c := NewController(0)
+	// One request per bank: line i*RowLines maps to bank i.
+	for i := 0; i < c.Banks; i++ {
+		c.Enqueue(&Request{Line: uint64(i) * c.RowLines}, 0)
+	}
+	if got := c.Tick(400); len(got) != c.Banks {
+		t.Fatalf("%d banks should finish %d requests together, got %d", c.Banks, c.Banks, len(got))
+	}
+}
+
+func TestQueueingBeyondBanks(t *testing.T) {
+	c := NewController(0)
+	n := c.Banks + 2
+	// n requests spread across banks: banks 0 and 1 get two requests to
+	// DIFFERENT rows (forcing row misses, no FR-FCFS reordering benefit).
+	for i := 0; i < n; i++ {
+		bank := uint64(i % c.Banks)
+		row := uint64(i/c.Banks) * c.RowLines * uint64(c.Banks) * 7
+		c.Enqueue(&Request{Line: bank*c.RowLines + row}, 0)
+	}
+	if c.QueueLen() != 2 {
+		t.Fatalf("queue length %d, want 2", c.QueueLen())
+	}
+	first := c.Tick(400)
+	if len(first) != c.Banks {
+		t.Fatalf("first batch %d, want %d", len(first), c.Banks)
+	}
+	second := c.Tick(800)
+	if len(second) != 2 {
+		t.Fatalf("second batch %d, want 2", len(second))
+	}
+	if c.Busy() {
+		t.Error("controller still busy")
+	}
+	if c.TotalQueueDelay != 800 { // two requests waited 400 each
+		t.Errorf("queue delay %d, want 800", c.TotalQueueDelay)
+	}
+}
+
+func TestRowBufferHitFaster(t *testing.T) {
+	c := NewController(0)
+	c.Enqueue(&Request{Line: 0}, 0) // opens row 0 of bank 0
+	if got := c.Tick(400); len(got) != 1 {
+		t.Fatal("first access did not complete at the row-miss latency")
+	}
+	c.Enqueue(&Request{Line: 1}, 400) // same row: hit
+	if got := c.Tick(400 + c.RowHitLatency); len(got) != 1 {
+		t.Fatalf("row hit did not complete at the hit latency")
+	}
+	if c.RowHits != 1 {
+		t.Errorf("row hits %d, want 1", c.RowHits)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	c := NewController(0)
+	c.Banks = 1
+	c.bankFreeReset()
+	c.Enqueue(&Request{Line: 0}, 0) // opens row 0, busy until 400
+	// While the bank is busy, queue a row-miss request (other row) and
+	// then a row hit. When the bank frees, the scheduler must pick the
+	// hit even though it arrived later.
+	missLine := c.RowLines * uint64(c.Banks) * 3 // different row, bank 0
+	c.Enqueue(&Request{Line: missLine}, 399)
+	c.Enqueue(&Request{Line: 2}, 399) // row 0: hit
+	c.Tick(400)                       // completes the opener, schedules the hit
+	done := c.Tick(400 + c.RowHitLatency)
+	if len(done) != 1 || done[0].Line != 2 {
+		t.Fatalf("FR-FCFS served %v first, want the row hit (line 2)", done)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	c := NewController(0)
+	c.Enqueue(&Request{Line: 1, Write: true}, 0)
+	c.Enqueue(&Request{Line: 2}, 0)
+	if c.Writes != 1 || c.Reads != 1 {
+		t.Errorf("reads/writes = %d/%d", c.Reads, c.Writes)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	corners := Tiles(PlacementCorners, 8, 8)
+	if len(corners) != 4 {
+		t.Fatalf("corners: %v", corners)
+	}
+	want := map[int]bool{0: true, 7: true, 56: true, 63: true}
+	for _, c := range corners {
+		if !want[c] {
+			t.Errorf("unexpected corner tile %d", c)
+		}
+	}
+	diag := Tiles(PlacementDiagonal, 8, 8)
+	if len(diag) != 16 {
+		t.Fatalf("diagonal count %d, want 16", len(diag))
+	}
+	diamond := Tiles(PlacementDiamond, 8, 8)
+	if len(diamond) != 16 {
+		t.Fatalf("diamond count %d, want 16: %v", len(diamond), diamond)
+	}
+	// Diamond and diagonal must differ and both avoid duplicates.
+	uniq := func(xs []int) bool {
+		s := append([]int(nil), xs...)
+		sort.Ints(s)
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if !uniq(diag) || !uniq(diamond) {
+		t.Error("duplicate controller tiles")
+	}
+}
+
+func TestDiamondRowColumnCoverage(t *testing.T) {
+	// The paper places two controllers per row/column of the mesh.
+	diamond := Tiles(PlacementDiamond, 8, 8)
+	rows := map[int]int{}
+	cols := map[int]int{}
+	for _, tl := range diamond {
+		rows[tl/8]++
+		cols[tl%8]++
+	}
+	for r, n := range rows {
+		if n != 2 {
+			t.Errorf("row %d has %d controllers, want 2", r, n)
+		}
+	}
+	for c, n := range cols {
+		if n != 2 {
+			t.Errorf("column %d has %d controllers, want 2", c, n)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package cmp
+
+import (
+	"fmt"
+	"strings"
+
+	"heteronoc/internal/stats"
+)
+
+// Report is a human-readable snapshot of the whole system's counters:
+// cache behavior, coherence activity, network load and DRAM service. The
+// examples and tools print it after a run.
+type Report struct {
+	Cycles int64
+	AvgIPC float64
+
+	L1HitRate   float64
+	L1MPKI      float64 // L1 misses per kilo-instruction
+	Upgrades    int64
+	Invals      int64
+	L2HitRate   float64
+	Recalls     int64
+	MemReads    int64
+	MemWrites   int64
+	DRAMRowHits float64 // fraction of DRAM accesses hitting an open row
+
+	NetPackets   int64
+	NetAvgLatNS  float64
+	MissRTT      stats.Summary
+	MCReqLatency stats.Summary
+}
+
+// Snapshot aggregates the current counters.
+func (s *System) Snapshot() Report {
+	r := Report{AvgIPC: s.AvgIPC(), MissRTT: s.MissRTT(), MCReqLatency: s.MCReqLatency}
+	var l1h, l1m, l1c, insts int64
+	var l2h, l2m int64
+	for _, t := range s.Tiles {
+		l1h += t.L1.Hits
+		l1m += t.L1.Misses
+		l1c += t.L1.Coalesces
+		r.Upgrades += t.L1.Upgrades
+		r.Invals += t.L1.Invalidations
+		l2h += t.Home.L2Hits
+		l2m += t.Home.L2Misses
+		r.Recalls += t.Home.Recalls
+		r.MemReads += t.Home.MemReads
+		r.MemWrites += t.Home.MemWrites
+		insts += t.Core.Insts
+		if t.Core.Cycles > r.Cycles {
+			r.Cycles = t.Core.Cycles
+		}
+	}
+	if tot := l1h + l1m + l1c; tot > 0 {
+		r.L1HitRate = float64(l1h) / float64(tot)
+	}
+	if insts > 0 {
+		r.L1MPKI = 1000 * float64(l1m) / float64(insts)
+	}
+	if tot := l2h + l2m; tot > 0 {
+		r.L2HitRate = float64(l2h) / float64(tot)
+	}
+	var dramTotal, dramHits int64
+	for _, mc := range s.MCs {
+		dramTotal += mc.Completed
+		dramHits += mc.RowHits
+	}
+	if dramTotal > 0 {
+		r.DRAMRowHits = float64(dramHits) / float64(dramTotal)
+	}
+	ns := s.NetStats()
+	r.NetPackets = ns.PacketsReceived
+	r.NetAvgLatNS = ns.AvgLatency() / s.cfg.Layout.FreqGHz()
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles          %d\n", r.Cycles)
+	fmt.Fprintf(&b, "avg IPC         %.3f\n", r.AvgIPC)
+	fmt.Fprintf(&b, "L1              hit %.1f%%, %.1f MPKI, %d upgrades, %d invalidations\n",
+		100*r.L1HitRate, r.L1MPKI, r.Upgrades, r.Invals)
+	fmt.Fprintf(&b, "L2              hit %.1f%%, %d recalls\n", 100*r.L2HitRate, r.Recalls)
+	fmt.Fprintf(&b, "DRAM            %d reads, %d writes, %.1f%% row hits\n",
+		r.MemReads, r.MemWrites, 100*r.DRAMRowHits)
+	fmt.Fprintf(&b, "network         %d packets, %.1f ns avg\n", r.NetPackets, r.NetAvgLatNS)
+	rtt := r.MissRTT
+	fmt.Fprintf(&b, "miss round trip %.1f cycles (std dev %.1f, n=%d)\n", rtt.Mean(), rtt.StdDev(), rtt.N())
+	return b.String()
+}

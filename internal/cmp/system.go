@@ -1,0 +1,418 @@
+package cmp
+
+import (
+	"container/heap"
+	"fmt"
+
+	"heteronoc/internal/cmp/cache"
+	"heteronoc/internal/cmp/coherence"
+	"heteronoc/internal/cmp/mem"
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/routing"
+	"heteronoc/internal/stats"
+	"heteronoc/internal/trace"
+)
+
+// Config assembles a CMP system.
+type Config struct {
+	// Layout selects the network (baseline or a HeteroNoC design).
+	Layout core.Layout
+	// Routing optionally overrides the layout's default algorithm
+	// (table-based routing in the asymmetric-CMP study).
+	Routing routing.Algorithm
+	// MCTiles hosts one memory controller per listed tile (default: the
+	// Table 2 corner placement).
+	MCTiles []int
+	// Cores configures each core; a single entry broadcasts (default:
+	// Table 2 out-of-order cores).
+	Cores []CoreConfig
+	// Traces supplies each core's instruction stream.
+	Traces []trace.Reader
+	// LineBytes is the cache line size (Table 2: 128B).
+	LineBytes int
+	// CoreFreqGHz is the core clock (2.2); the network runs at the
+	// layout's frequency, stepped fractionally against the core clock.
+	CoreFreqGHz float64
+	// Prefetch enables the L1 next-line stream prefetcher on every core.
+	Prefetch bool
+}
+
+// Tile is one node: core, private L1, and the local L2 bank + directory.
+type Tile struct {
+	ID   int
+	Core *Core
+	L1   *coherence.L1
+	Home *coherence.Home
+}
+
+// System is a running CMP simulation.
+type System struct {
+	cfg   Config
+	Net   *noc.Network
+	Tiles []*Tile
+	MCs   map[int]*mem.Controller
+
+	now      int64
+	netAccum float64
+	netRatio float64
+
+	delayQ evtHeap
+
+	// Per-(src,dst) sequence state: the NI reorder buffer delivers each
+	// pair's messages in send order even though the wormhole network (and
+	// the local/remote path split) can reorder them in flight. The MESI
+	// protocol relies on this ordering (see coherence.Msg.Seq).
+	seqOut map[pairKey]int64
+	seqIn  map[pairKey]int64
+	parked map[pairKey]map[int64]coherence.Msg
+
+	// MCReqLatency samples the one-way core-to-controller network latency
+	// of memory requests (Figure 13(b)).
+	MCReqLatency stats.Summary
+
+	// warmup switches the transport to instantaneous functional delivery
+	// (cache warmup before timing measurement).
+	warmup bool
+	warmQ  []coherence.Msg
+}
+
+type evt struct {
+	at int64
+	m  coherence.Msg
+	// local marks a message that already took its tile-internal hop and
+	// is ready for direct dispatch.
+	local bool
+}
+
+type evtHeap []evt
+
+func (h evtHeap) Len() int           { return len(h) }
+func (h evtHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h evtHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *evtHeap) Push(x any)        { *h = append(*h, x.(evt)) }
+func (h *evtHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New builds a CMP system.
+func New(cfg Config) (*System, error) {
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 128
+	}
+	if cfg.CoreFreqGHz == 0 {
+		cfg.CoreFreqGHz = 2.20
+	}
+	n := cfg.Layout.Mesh.NumTerminals()
+	if cfg.MCTiles == nil {
+		w, h := cfg.Layout.Mesh.Dims()
+		cfg.MCTiles = mem.Tiles(mem.PlacementCorners, w, h)
+	}
+	switch len(cfg.Cores) {
+	case n:
+	case 1:
+		cc := cfg.Cores[0]
+		cfg.Cores = make([]CoreConfig, n)
+		for i := range cfg.Cores {
+			cfg.Cores[i] = cc
+		}
+	case 0:
+		cfg.Cores = make([]CoreConfig, n)
+		for i := range cfg.Cores {
+			cfg.Cores[i] = LargeCore()
+		}
+	default:
+		return nil, fmt.Errorf("cmp: %d core configs for %d tiles", len(cfg.Cores), n)
+	}
+	if len(cfg.Traces) != n {
+		return nil, fmt.Errorf("cmp: %d traces for %d tiles", len(cfg.Traces), n)
+	}
+
+	s := &System{
+		cfg:    cfg,
+		MCs:    make(map[int]*mem.Controller),
+		seqOut: make(map[pairKey]int64),
+		seqIn:  make(map[pairKey]int64),
+		parked: make(map[pairKey]map[int64]coherence.Msg),
+	}
+	alg := cfg.Routing
+	var net *noc.Network
+	var err error
+	if alg != nil {
+		net, err = cfg.Layout.NetworkWith(alg)
+	} else {
+		net, err = cfg.Layout.Network()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.Net = net
+	s.netRatio = cfg.Layout.FreqGHz() / cfg.CoreFreqGHz
+	net.SetOnPacket(s.receive)
+
+	homeFor := func(line uint64) int { return int(line % uint64(n)) }
+	for _, t := range cfg.MCTiles {
+		s.MCs[t] = mem.NewController(t)
+	}
+	mcTiles := cfg.MCTiles
+	mcFor := func(line uint64) int {
+		// Low-order address bits above the cache line select the
+		// controller (Section 6).
+		return mcTiles[int(line/uint64(n))%len(mcTiles)]
+	}
+
+	s.Tiles = make([]*Tile, n)
+	for i := 0; i < n; i++ {
+		l1c := cache.New(cache.Config{SizeBytes: 32 * 1024, Ways: 4, LineBytes: cfg.LineBytes})
+		l2c := cache.New(cache.Config{
+			SizeBytes: 1 << 20, Ways: 16, LineBytes: cfg.LineBytes,
+			IndexShiftBits: bankShift(n),
+		})
+		tile := &Tile{ID: i}
+		tile.L1 = coherence.NewL1(i, l1c, s, homeFor)
+		tile.L1.PrefetchNextLine = cfg.Prefetch
+		tile.Home = coherence.NewHome(i, l2c, s, mcFor)
+		lineOf := func(addr uint64) uint64 { return addr / uint64(cfg.LineBytes) }
+		tile.Core = NewCore(i, cfg.Cores[i], cfg.Traces[i], tile.L1, &s.now, lineOf)
+		s.Tiles[i] = tile
+	}
+	return s, nil
+}
+
+// bankShift returns log2(n) rounded up: the low line-address bits consumed
+// by bank selection, skipped when indexing within a bank.
+func bankShift(n int) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// Now returns the current core cycle.
+func (s *System) Now() int64 { return s.now }
+
+type pairKey struct{ src, dst int }
+
+// Send implements coherence.Transport: messages queue for their processing
+// delay, then either deliver locally (same tile) or enter the network.
+func (s *System) Send(m coherence.Msg, after int64) {
+	m.SentAt = s.now
+	if s.warmup {
+		s.warmQ = append(s.warmQ, m)
+		return
+	}
+	k := pairKey{m.Src, m.Dst}
+	m.Seq = s.seqOut[k]
+	s.seqOut[k]++
+	heap.Push(&s.delayQ, evt{at: s.now + after, m: m})
+}
+
+// dataFlits returns the flit count for a message.
+func (s *System) dataFlits(m coherence.Msg) int {
+	if m.Type.IsData() {
+		return s.cfg.Layout.DataPacketFlits()
+	}
+	return 1
+}
+
+// localHopDelay approximates the tile-internal path (NI + bank port) taken
+// when a message's source and destination share a tile.
+const localHopDelay = 2
+
+// flush moves matured delayed messages onward: same-tile traffic takes a
+// short local hop and dispatches directly, everything else enters the
+// network.
+func (s *System) flush() {
+	for s.delayQ.Len() > 0 && s.delayQ[0].at <= s.now {
+		e := heap.Pop(&s.delayQ).(evt)
+		switch {
+		case e.local:
+			s.deliverOrdered(e.m)
+		case e.m.Src == e.m.Dst:
+			heap.Push(&s.delayQ, evt{at: s.now + localHopDelay, m: e.m, local: true})
+		default:
+			s.Net.Inject(&noc.Packet{
+				Src:      e.m.Src,
+				Dst:      e.m.Dst,
+				NumFlits: s.dataFlits(e.m),
+				Class:    int(e.m.Type),
+				Payload:  e.m,
+			})
+		}
+	}
+}
+
+// receive handles a packet delivered by the network.
+func (s *System) receive(p *noc.Packet) {
+	m := p.Payload.(coherence.Msg)
+	s.deliverOrdered(m)
+}
+
+// deliverOrdered is the NI reorder buffer: it releases each (src,dst)
+// pair's messages in sequence order, parking early arrivals.
+func (s *System) deliverOrdered(m coherence.Msg) {
+	k := pairKey{m.Src, m.Dst}
+	if m.Seq != s.seqIn[k] {
+		pk := s.parked[k]
+		if pk == nil {
+			pk = make(map[int64]coherence.Msg)
+			s.parked[k] = pk
+		}
+		pk[m.Seq] = m
+		return
+	}
+	s.dispatch(m)
+	s.seqIn[k]++
+	for {
+		pk := s.parked[k]
+		next, ok := pk[s.seqIn[k]]
+		if !ok {
+			break
+		}
+		delete(pk, s.seqIn[k])
+		s.dispatch(next)
+		s.seqIn[k]++
+	}
+}
+
+// dispatch routes a protocol message to its handler.
+func (s *System) dispatch(m coherence.Msg) {
+	switch m.Type {
+	case coherence.MemRead, coherence.MemWrite:
+		mc := s.MCs[m.Dst]
+		if mc == nil {
+			panic(fmt.Sprintf("cmp: message %v to tile %d which has no memory controller", m.Type, m.Dst))
+		}
+		s.MCReqLatency.Add(float64(s.now - m.SentAt))
+		mc.Enqueue(&mem.Request{Line: m.Line, Home: m.Src, Write: m.Type == coherence.MemWrite}, s.now)
+	case coherence.GetS, coherence.GetM, coherence.PutM, coherence.InvAck,
+		coherence.FwdAckData, coherence.FwdNoData, coherence.MemData:
+		s.Tiles[m.Dst].Home.Handle(m)
+	default:
+		s.Tiles[m.Dst].L1.Handle(m)
+	}
+}
+
+// Warmup functionally streams entriesPerCore trace records per core
+// through the cache hierarchy with an instantaneous transport, populating
+// L1s, L2 banks and the directory before timing measurement begins — the
+// standard answer to the multi-million-cycle cold-start a 400-cycle DRAM
+// would otherwise impose. Trace generators keep their state, so timing
+// simulation continues the same streams.
+func (s *System) Warmup(entriesPerCore int) {
+	s.warmup = true
+	lineBytes := uint64(s.cfg.LineBytes)
+	for i := 0; i < entriesPerCore; i++ {
+		for _, tile := range s.Tiles {
+			e := s.cfg.Traces[tile.ID].Next()
+			tile.L1.Access(e.Addr/lineBytes, e.Write, func() {})
+			s.drainWarm()
+		}
+	}
+	s.warmup = false
+	s.ResetStats()
+}
+
+// drainWarm delivers warmup messages synchronously; memory requests are
+// answered on the spot.
+func (s *System) drainWarm() {
+	for len(s.warmQ) > 0 {
+		m := s.warmQ[0]
+		s.warmQ = s.warmQ[1:]
+		switch m.Type {
+		case coherence.MemRead:
+			s.warmQ = append(s.warmQ, coherence.Msg{
+				Type: coherence.MemData, Line: m.Line, Src: m.Dst, Dst: m.Src,
+			})
+		case coherence.MemWrite:
+			// Functional write-back: nothing to do.
+		case coherence.GetS, coherence.GetM, coherence.PutM, coherence.InvAck,
+			coherence.FwdAckData, coherence.FwdNoData, coherence.MemData:
+			s.Tiles[m.Dst].Home.Handle(m)
+		default:
+			s.Tiles[m.Dst].L1.Handle(m)
+		}
+	}
+}
+
+// ResetStats clears all measurement state (after warmup).
+func (s *System) ResetStats() {
+	s.Net.ResetStats()
+	s.MCReqLatency = stats.Summary{}
+	for _, tile := range s.Tiles {
+		tile.L1.Hits, tile.L1.Misses, tile.L1.Coalesces, tile.L1.Blocks = 0, 0, 0, 0
+		tile.L1.Upgrades, tile.L1.Invalidations = 0, 0
+		tile.Home.L2Hits, tile.Home.L2Misses, tile.Home.Recalls = 0, 0, 0
+		tile.Home.MemReads, tile.Home.MemWrites = 0, 0
+		tile.Core.Insts, tile.Core.Cycles, tile.Core.StallCycles = 0, 0, 0
+		tile.Core.MissRTT = stats.Summary{}
+	}
+	for _, mc := range s.MCs {
+		mc.Reads, mc.Writes, mc.TotalQueueDelay, mc.TotalServiceTime, mc.Completed = 0, 0, 0, 0, 0
+	}
+}
+
+// Step advances the system by one core cycle.
+func (s *System) Step() error {
+	s.now++
+	s.flush()
+	// Memory controllers.
+	for t, mc := range s.MCs {
+		for _, r := range mc.Tick(s.now) {
+			if r.Write {
+				continue
+			}
+			s.Send(coherence.Msg{Type: coherence.MemData, Line: r.Line, Src: t, Dst: r.Home}, 0)
+		}
+	}
+	// Network at its own clock.
+	s.netAccum += s.netRatio
+	for s.netAccum >= 1 {
+		s.netAccum--
+		if err := s.Net.Step(); err != nil {
+			return err
+		}
+	}
+	// Cores.
+	for _, tile := range s.Tiles {
+		tile.Core.Step()
+	}
+	return nil
+}
+
+// Run advances the system for the given number of core cycles.
+func (s *System) Run(cycles int64) error {
+	for i := int64(0); i < cycles; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("cmp: cycle %d: %w", s.now, err)
+		}
+	}
+	return nil
+}
+
+// AvgIPC returns the mean per-core IPC.
+func (s *System) AvgIPC() float64 {
+	var sum float64
+	for _, t := range s.Tiles {
+		sum += t.Core.IPC()
+	}
+	return sum / float64(len(s.Tiles))
+}
+
+// MissRTT aggregates the round-trip miss latency across cores (Figure
+// 13(a) measures this from request generation to response arrival).
+func (s *System) MissRTT() stats.Summary {
+	var out stats.Summary
+	for _, t := range s.Tiles {
+		out.Merge(t.Core.MissRTT)
+	}
+	return out
+}
+
+// NetStats exposes the network statistics.
+func (s *System) NetStats() *noc.Stats { return s.Net.Stats() }

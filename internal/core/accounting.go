@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resources is the conservation accounting of Section 2 / Table 1.
+type Resources struct {
+	Layout string
+
+	TotalVCs   int // routers * ports * VCs/PC
+	BufferCnt  int // individual flit buffers (VCs * depth * ports summed)
+	BufferBits int // BufferCnt * buffer width
+
+	// BisectionBits is the summed width of links crossing the vertical
+	// bisection cut (one direction).
+	BisectionBits int
+
+	// RouterPowerW is the summed router power at the 50%-activity
+	// calibration point; AreaMM2 the summed router area.
+	RouterPowerW float64
+	AreaMM2      float64
+
+	// WorstFreqGHz is the operating frequency (slowest router class).
+	WorstFreqGHz float64
+}
+
+// Accounting computes the resource totals of a layout.
+func (l Layout) Accounting() Resources {
+	specs := Specs()
+	res := Resources{Layout: l.Name, WorstFreqGHz: l.FreqGHz()}
+	for r, c := range l.Class {
+		s := specs[c]
+		ports := l.Mesh.Radix(r) // 5 on a mesh, including the local port
+		res.TotalVCs += s.VCs * ports
+		bufs := s.VCs * ports * s.BufDepth
+		res.BufferCnt += bufs
+		width := s.BufferBits
+		if !l.LinkRedist && c != ClassBaseline {
+			// +B designs keep the baseline 192-bit datapath and buffers.
+			width = specs[ClassBaseline].BufferBits
+		}
+		res.BufferBits += bufs * width
+		res.RouterPowerW += s.PowerW
+		res.AreaMM2 += s.AreaMM2
+	}
+	for _, lk := range l.Mesh.BisectionLinks() {
+		res.BisectionBits += l.LinkBits(lk[0], lk[1])
+	}
+	return res
+}
+
+// LinkBits returns the width in bits of the link leaving router r via port
+// p under this layout: 256 when either endpoint is big in a +BL design,
+// 128 between two small routers, 192 otherwise (baseline and +B designs).
+func (l Layout) LinkBits(r, p int) int {
+	if !l.IsHetero() || !l.LinkRedist {
+		return 192
+	}
+	wide := l.Class[r] == ClassBig
+	if link, ok := l.Mesh.Neighbor(r, p); ok {
+		wide = wide || l.Class[link.Router] == ClassBig
+	}
+	if wide {
+		return 256
+	}
+	return 128
+}
+
+// PowerInequalityHolds checks the Section 2 guideline: the heterogeneous
+// network's calibration-point router power must not exceed the
+// homogeneous network's.
+func (l Layout) PowerInequalityHolds() bool {
+	specs := Specs()
+	homo := float64(len(l.Class)) * specs[ClassBaseline].PowerW
+	return l.Accounting().RouterPowerW <= homo+1e-9
+}
+
+// Table1 renders the Table 1 comparison between the homogeneous baseline
+// and this heterogeneous layout as a markdown fragment.
+func Table1(hetero Layout) string {
+	w, h := hetero.Mesh.Dims()
+	base := NewBaseline(w, h)
+	ra, rb := base.Accounting(), hetero.Accounting()
+	specs := Specs()
+	var b strings.Builder
+	fmt.Fprintf(&b, "| Design | Router | Power | Area | Frequency |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+	bl := specs[ClassBaseline]
+	fmt.Fprintf(&b, "| Homogeneous | %dVCs/%d depth/%db | %.2fW | %.3fmm2 | %.2f GHz |\n",
+		bl.VCs, bl.BufDepth, bl.DatapathBits, bl.PowerW, bl.AreaMM2, bl.FreqGHz)
+	sm, bg := specs[ClassSmall], specs[ClassBig]
+	fmt.Fprintf(&b, "| Heterogeneous (small) | %dVCs/%d depth/%db | %.2fW | %.3fmm2 | %.2f GHz |\n",
+		sm.VCs, sm.BufDepth, sm.DatapathBits, sm.PowerW, sm.AreaMM2, sm.FreqGHz)
+	fmt.Fprintf(&b, "| Heterogeneous (big) | %dVCs/%d depth/%db | %.2fW | %.3fmm2 | %.2f GHz |\n",
+		bg.VCs, bg.BufDepth, bg.DatapathBits, bg.PowerW, bg.AreaMM2, bg.FreqGHz)
+	fmt.Fprintf(&b, "\nTotal buffers homogeneous: %d @ %d bits = %d bits\n",
+		ra.BufferCnt, specs[ClassBaseline].BufferBits, ra.BufferBits)
+	fmt.Fprintf(&b, "Total buffers heterogeneous: %d @ %d bits = %d bits (%.0f%% reduction)\n",
+		rb.BufferCnt, specs[ClassSmall].BufferBits, rb.BufferBits,
+		100*(1-float64(rb.BufferBits)/float64(ra.BufferBits)))
+	fmt.Fprintf(&b, "Total VCs: homogeneous %d, heterogeneous %d\n", ra.TotalVCs, rb.TotalVCs)
+	fmt.Fprintf(&b, "Bisection width: homogeneous %d bits, heterogeneous %d bits\n",
+		ra.BisectionBits, rb.BisectionBits)
+	fmt.Fprintf(&b, "Router area: homogeneous %.2f mm2, heterogeneous %.2f mm2\n", ra.AreaMM2, rb.AreaMM2)
+	fmt.Fprintf(&b, "Router power (50%% activity): homogeneous %.2f W, heterogeneous %.2f W\n",
+		ra.RouterPowerW, rb.RouterPowerW)
+	return b.String()
+}
+
+// MinSmallRouters evaluates the Section 2 power inequality for an NxN mesh:
+// the minimum number of small routers needed so the heterogeneous network
+// does not exceed homogeneous power (38 on 8x8).
+func MinSmallRouters(n int) int {
+	specs := Specs()
+	total := n * n
+	pBase, pSmall, pBig := specs[ClassBaseline].PowerW, specs[ClassSmall].PowerW, specs[ClassBig].PowerW
+	for ns := 0; ns <= total; ns++ {
+		if pSmall*float64(ns)+pBig*float64(total-ns) <= pBase*float64(total) {
+			return ns
+		}
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// LayoutSpec is the JSON-serializable description of a HeteroNoC layout,
+// so tools (noxsim -config, the DSE) can exchange custom placements
+// without code changes.
+//
+//	{
+//	  "name": "my-layout",
+//	  "width": 8, "height": 8,
+//	  "torus": false,
+//	  "big": [0, 9, 18, 27, 36, 45, 54, 63],
+//	  "linkRedist": true
+//	}
+type LayoutSpec struct {
+	Name   string `json:"name"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	Torus  bool   `json:"torus,omitempty"`
+	// Big lists the big-router IDs; empty means the homogeneous baseline.
+	Big        []int `json:"big,omitempty"`
+	LinkRedist bool  `json:"linkRedist,omitempty"`
+}
+
+// Validate checks the spec's ranges.
+func (s LayoutSpec) Validate() error {
+	if s.Width < 2 || s.Height < 2 {
+		return fmt.Errorf("core: layout %q needs at least a 2x2 mesh, got %dx%d", s.Name, s.Width, s.Height)
+	}
+	n := s.Width * s.Height
+	seen := map[int]bool{}
+	for _, b := range s.Big {
+		if b < 0 || b >= n {
+			return fmt.Errorf("core: layout %q: big router %d out of range [0,%d)", s.Name, b, n)
+		}
+		if seen[b] {
+			return fmt.Errorf("core: layout %q: duplicate big router %d", s.Name, b)
+		}
+		seen[b] = true
+	}
+	return nil
+}
+
+// Build materializes the spec into a Layout.
+func (s LayoutSpec) Build() (Layout, error) {
+	if err := s.Validate(); err != nil {
+		return Layout{}, err
+	}
+	name := s.Name
+	if name == "" {
+		name = "custom"
+	}
+	var l Layout
+	if len(s.Big) == 0 {
+		l = NewBaseline(s.Width, s.Height)
+		l.Name = name
+	} else {
+		l = NewCustom(name, s.Width, s.Height, s.Big, s.LinkRedist)
+	}
+	if s.Torus {
+		l = l.OnTorus()
+		l.Name = name // OnTorus decorates the name; keep the user's choice
+	}
+	return l, nil
+}
+
+// SpecOf captures a layout back into its serializable form.
+func SpecOf(l Layout) LayoutSpec {
+	w, h := l.Mesh.Dims()
+	s := LayoutSpec{
+		Name:       l.Name,
+		Width:      w,
+		Height:     h,
+		Torus:      l.Mesh.Wrap(),
+		LinkRedist: l.LinkRedist,
+	}
+	for r, c := range l.Class {
+		if c == ClassBig {
+			s.Big = append(s.Big, r)
+		}
+	}
+	sort.Ints(s.Big)
+	return s
+}
+
+// ParseLayoutJSON decodes and builds a layout from JSON bytes.
+func ParseLayoutJSON(data []byte) (Layout, error) {
+	var s LayoutSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Layout{}, fmt.Errorf("core: parsing layout spec: %w", err)
+	}
+	return s.Build()
+}
+
+// LayoutJSON encodes a layout's spec as indented JSON.
+func LayoutJSON(l Layout) ([]byte, error) {
+	return json.MarshalIndent(SpecOf(l), "", "  ")
+}

@@ -1,0 +1,278 @@
+// Package dse implements the design-space exploration of Section 2
+// (footnote 4): exhaustive enumeration of big-router placements on a small
+// mesh, symmetry reduction, and short-simulation scoring, which is how the
+// paper selected the six 8x8 layouts from thousands of 4x4 candidates.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/traffic"
+)
+
+// Candidate is one placement with its evaluation score.
+type Candidate struct {
+	Big        []int
+	AvgLatency float64 // cycles at the probe load
+	Saturated  bool
+}
+
+// Combinations returns C(n, k) — the paper quotes 1820, 8008 and 12870
+// candidate counts for (4,12), (6,10) and (8,8) splits on a 4x4 mesh.
+func Combinations(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// canonical returns the lexicographically smallest representation of a
+// placement under the 8 symmetries of the square (rotations/reflections),
+// used to prune equivalent layouts.
+func canonical(big []int, w, h int) string {
+	best := ""
+	for s := 0; s < 8; s++ {
+		mapped := make([]int, len(big))
+		for i, r := range big {
+			x, y := r%w, r/w
+			nx, ny := symmetry(s, x, y, w, h)
+			mapped[i] = ny*w + nx
+		}
+		sort.Ints(mapped)
+		key := fmt.Sprint(mapped)
+		if best == "" || key < best {
+			best = key
+		}
+	}
+	return best
+}
+
+// symmetry applies the s-th dihedral transform to a grid coordinate.
+func symmetry(s, x, y, w, h int) (int, int) {
+	for i := 0; i < s%4; i++ { // rotate s%4 times by 90 degrees
+		x, y = h-1-y, x
+		w, h = h, w
+	}
+	if s >= 4 { // then mirror
+		x = w - 1 - x
+	}
+	return x, y
+}
+
+// Enumerate yields every placement of k big routers on a W x H mesh,
+// reduced by square symmetry when reduceSymmetry is set. The callback
+// receives the big-router set; enumeration stops early if it returns false.
+func Enumerate(w, h, k int, reduceSymmetry bool, fn func(big []int) bool) int {
+	n := w * h
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	seen := map[string]bool{}
+	count := 0
+	for {
+		if reduceSymmetry {
+			key := canonical(idx, w, h)
+			if !seen[key] {
+				seen[key] = true
+				count++
+				cp := append([]int(nil), idx...)
+				if !fn(cp) {
+					return count
+				}
+			}
+		} else {
+			count++
+			cp := append([]int(nil), idx...)
+			if !fn(cp) {
+				return count
+			}
+		}
+		// Next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return count
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// EvalConfig controls the scoring simulation.
+type EvalConfig struct {
+	W, H int
+	// BigCount big routers per layout.
+	BigCount int
+	// LinkRedist evaluates +BL (true) or +B (false) designs.
+	LinkRedist bool
+	// InjectionRate is the probe load in packets/node/cycle.
+	InjectionRate float64
+	// Packets to measure per candidate (short probes; the paper ran
+	// thousands of these).
+	Packets int
+	// ReduceSymmetry prunes dihedral-equivalent placements.
+	ReduceSymmetry bool
+	// MaxCandidates bounds the sweep (0 = all).
+	MaxCandidates int
+	Seed          int64
+}
+
+// Explore scores placements and returns them sorted best first.
+func Explore(cfg EvalConfig) ([]Candidate, error) {
+	var out []Candidate
+	var firstErr error
+	Enumerate(cfg.W, cfg.H, cfg.BigCount, cfg.ReduceSymmetry, func(big []int) bool {
+		c, err := Evaluate(cfg, big)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		out = append(out, c)
+		return cfg.MaxCandidates == 0 || len(out) < cfg.MaxCandidates
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Saturated != out[j].Saturated {
+			return !out[i].Saturated
+		}
+		return out[i].AvgLatency < out[j].AvgLatency
+	})
+	return out, nil
+}
+
+// Evaluate scores a single placement with a short uniform-random probe.
+func Evaluate(cfg EvalConfig, bigSet []int) (Candidate, error) {
+	layout := core.NewCustom(fmt.Sprintf("dse%v", bigSet), cfg.W, cfg.H, bigSet, cfg.LinkRedist)
+	net, err := layout.Network()
+	if err != nil {
+		return Candidate{}, err
+	}
+	res, err := traffic.Run(net, traffic.RunConfig{
+		Pattern:        traffic.UniformRandom{N: cfg.W * cfg.H},
+		Process:        traffic.Bernoulli{P: cfg.InjectionRate},
+		DataFlits:      layout.DataPacketFlits(),
+		WarmupPackets:  cfg.Packets / 10,
+		MeasurePackets: cfg.Packets,
+		Seed:           cfg.Seed,
+		MaxCycles:      int64(cfg.Packets) * 100,
+	})
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Big: bigSet, AvgLatency: res.AvgLatency, Saturated: res.Saturated}, nil
+}
+
+// DiagonalScore reports where the diagonal placement ranks within a result
+// set (1 = best); used to confirm the paper's conclusion that diagonal
+// placements score near the top.
+func DiagonalScore(results []Candidate, w, h int) (rank int, found bool) {
+	diag := map[int]bool{}
+	for _, r := range core.BigRouters(core.PlacementDiagonal, w, h) {
+		diag[r] = true
+	}
+	for i, c := range results {
+		if len(c.Big) != len(diag) {
+			continue
+		}
+		all := true
+		for _, b := range c.Big {
+			if !diag[b] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// Anneal searches the 8x8 placement space the paper calls infeasible to
+// sweep (C(64,16) = 4.89e14 candidates) with simulated annealing: start
+// from a random placement of BigCount big routers, propose single-router
+// swaps, and accept uphill moves with a falling temperature. The returned
+// history lets callers check convergence; the final candidate is the best
+// placement seen.
+type AnnealConfig struct {
+	Eval  EvalConfig
+	Steps int
+	// Seed drives both the proposal chain and the acceptance draws.
+	Seed int64
+	// StartTemp is the initial acceptance temperature in latency cycles.
+	StartTemp float64
+}
+
+// AnnealResult reports the search outcome.
+type AnnealResult struct {
+	Best     Candidate
+	Initial  Candidate
+	Accepted int
+	Steps    int
+}
+
+// Anneal runs the search. It is deterministic for a given configuration.
+func Anneal(cfg AnnealConfig) (AnnealResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Eval.W * cfg.Eval.H
+	k := cfg.Eval.BigCount
+	if cfg.Steps <= 0 {
+		cfg.Steps = 50
+	}
+	if cfg.StartTemp <= 0 {
+		cfg.StartTemp = 5
+	}
+	// Random initial placement.
+	perm := rng.Perm(n)
+	cur := append([]int(nil), perm[:k]...)
+	sort.Ints(cur)
+	curCand, err := Evaluate(cfg.Eval, cur)
+	if err != nil {
+		return AnnealResult{}, err
+	}
+	res := AnnealResult{Best: curCand, Initial: curCand, Steps: cfg.Steps}
+	for step := 0; step < cfg.Steps; step++ {
+		temp := cfg.StartTemp * (1 - float64(step)/float64(cfg.Steps))
+		// Propose: swap one big router with one small position.
+		next := append([]int(nil), cur...)
+		inSet := map[int]bool{}
+		for _, r := range next {
+			inSet[r] = true
+		}
+		out := rng.Intn(k)
+		var repl int
+		for {
+			repl = rng.Intn(n)
+			if !inSet[repl] {
+				break
+			}
+		}
+		next[out] = repl
+		sort.Ints(next)
+		cand, err := Evaluate(cfg.Eval, next)
+		if err != nil {
+			return AnnealResult{}, err
+		}
+		delta := cand.AvgLatency - curCand.AvgLatency
+		if cand.Saturated && !curCand.Saturated {
+			delta += 1000 // saturation is always a big step backwards
+		}
+		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+			cur, curCand = next, cand
+			res.Accepted++
+		}
+		if !curCand.Saturated && (res.Best.Saturated || curCand.AvgLatency < res.Best.AvgLatency) {
+			res.Best = curCand
+		}
+	}
+	return res, nil
+}

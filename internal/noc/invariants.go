@@ -1,0 +1,106 @@
+package noc
+
+import "fmt"
+
+// CheckInvariants audits the network's conservation properties and returns
+// the first violation found. It is O(network size) and intended for tests
+// and debugging, not the hot path. Checked invariants:
+//
+//   - Credit conservation: for every link, the upstream credit count plus
+//     credits in flight plus flits occupying (or heading to) the downstream
+//     VC buffer equals the buffer depth.
+//   - Buffer capacity: no VC holds more flits than its depth (the ring
+//     panics earlier, but the audit double-counts independently).
+//   - VC ownership: a downstream VC owned by a packet may only buffer
+//     flits of compatible packets (FIFO epochs make mixed residency legal
+//     only while draining, so ownership is checked for ACTIVE upstream
+//     use).
+func (n *Network) CheckInvariants() error {
+	for r := range n.routers {
+		rt := &n.routers[r]
+		for p, op := range rt.out {
+			if op.dead || op.isTerm {
+				continue
+			}
+			if err := n.checkLink(op); err != nil {
+				return fmt.Errorf("router %d port %d: %w", r, p, err)
+			}
+		}
+	}
+	for t := range n.nis {
+		if err := n.checkLink(&n.nis[t].up); err != nil {
+			return fmt.Errorf("ni %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// checkLink verifies credit conservation for one upstream endpoint.
+func (n *Network) checkLink(op *outputPort) error {
+	down := &n.routers[op.link.Router]
+	for vc := 0; vc < op.downVCs; vc++ {
+		buffered := down.in[op.link.Port].vcs[vc].buf.len()
+		inFlightFlits := 0
+		for _, we := range op.wire {
+			if we.outVC == vc {
+				inFlightFlits++
+			}
+		}
+		inFlightCredits := 0
+		for _, ce := range op.creditQ {
+			if ce.vc == vc {
+				inFlightCredits++
+			}
+		}
+		total := op.credits[vc] + inFlightCredits + inFlightFlits + buffered
+		if total != op.downDepth {
+			return fmt.Errorf("vc %d: credits %d + credit-wire %d + flit-wire %d + buffered %d = %d, want depth %d",
+				vc, op.credits[vc], inFlightCredits, inFlightFlits, buffered, total, op.downDepth)
+		}
+		if buffered > op.downDepth {
+			return fmt.Errorf("vc %d: %d flits buffered beyond depth %d", vc, buffered, op.downDepth)
+		}
+	}
+	return nil
+}
+
+// DumpRouter renders one router's live state — per input port, each VC's
+// occupancy, state and allocation — for interactive debugging of stuck
+// networks alongside CheckInvariants and the packet tracer.
+func (n *Network) DumpRouter(r int) string {
+	rt := &n.routers[r]
+	var b []byte
+	b = append(b, fmt.Sprintf("router %d (VCs=%d depth=%d wide=%v)\n",
+		r, rt.cfg.VCs, rt.cfg.BufDepth, rt.cfg.Wide)...)
+	states := [...]string{"idle", "waitVC", "active"}
+	for pi := range rt.in {
+		for vi := range rt.in[pi].vcs {
+			vc := &rt.in[pi].vcs[vi]
+			if vc.buf.len() == 0 && vc.state == vcIdle {
+				continue
+			}
+			line := fmt.Sprintf("  in[%d].vc[%d]: %d flits, %s", pi, vi, vc.buf.len(), states[vc.state])
+			if vc.state != vcIdle {
+				line += fmt.Sprintf(" -> out[%d].vc[%d]", vc.outPort, vc.outVC)
+			}
+			if head := vc.buf.peek(); head != nil {
+				line += fmt.Sprintf(" head=pkt%d/%s", head.Pkt.ID, head.Kind)
+			}
+			b = append(b, (line + "\n")...)
+		}
+	}
+	for po, op := range rt.out {
+		if op.dead || op.isTerm || op.credits == nil {
+			continue
+		}
+		used := 0
+		for vcI := 0; vcI < op.downVCs; vcI++ {
+			used += op.downDepth - op.credits[vcI]
+		}
+		if used > 0 || len(op.wire) > 0 {
+			b = append(b, fmt.Sprintf("  out[%d]: %d credits consumed, %d flits on wire\n",
+				po, used, len(op.wire))...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,573 @@
+package noc
+
+import (
+	"fmt"
+
+	"heteronoc/internal/routing"
+	"heteronoc/internal/topology"
+)
+
+// niStream is one packet mid-injection. A stream emits at most one flit per
+// cycle: the downstream demux separates combined flits by VC ID, so two
+// flits of the same VC (same packet) can never share a wide-link cycle.
+type niStream struct {
+	pkt     *Packet
+	nextSeq int
+	vc      int
+}
+
+// ni is a network interface: the injection queue and upstream-side state of
+// one terminal. On a wide local link the NI drives up to two concurrent
+// packet streams on distinct VCs, mirroring the router-side flit combining.
+type ni struct {
+	term    int
+	up      outputPort
+	queue   []*Packet
+	qHead   int
+	streams []niStream
+	waitVC  int // VA starvation counter at injection
+}
+
+func (q *ni) queued() int { return len(q.queue) - q.qHead }
+
+func (q *ni) pop() *Packet {
+	p := q.queue[q.qHead]
+	q.queue[q.qHead] = nil
+	q.qHead++
+	if q.qHead > 64 && q.qHead*2 >= len(q.queue) {
+		q.queue = append(q.queue[:0], q.queue[q.qHead:]...)
+		q.qHead = 0
+	}
+	return p
+}
+
+// Network is a running simulation instance.
+type Network struct {
+	cfg     Config
+	alg     routing.Algorithm
+	escaper routing.Escaper
+	routers []router
+	nis     []ni
+
+	cycle          int64
+	lastMove       int64
+	flitsInNetwork int
+	queuedPackets  int
+	nextPktID      uint64
+
+	onPacket func(*Packet)
+	tracer   Tracer
+	stats    Stats
+}
+
+// New builds and validates a network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, alg: cfg.Routing}
+	n.escaper, _ = cfg.Routing.(routing.Escaper)
+	topo := cfg.Topo
+	n.routers = make([]router, topo.NumRouters())
+	for r := range n.routers {
+		rt := &n.routers[r]
+		rt.id = r
+		rt.cfg = cfg.Routers[r]
+		radix := topo.Radix(r)
+		rt.in = make([]inputPort, radix)
+		rt.out = make([]*outputPort, radix)
+		for p := 0; p < radix; p++ {
+			rt.in[p].vcs = make([]inVC, rt.cfg.VCs)
+			for v := range rt.in[p].vcs {
+				rt.in[p].vcs[v].buf = newRing(rt.cfg.BufDepth)
+			}
+			rt.bufSlots += rt.cfg.VCs * rt.cfg.BufDepth
+			op := &outputPort{router: r, port: p, slots: cfg.LinkSlots(r, p)}
+			if link, ok := topo.Neighbor(r, p); ok {
+				op.link = link
+				down := cfg.Routers[link.Router]
+				op.downVCs = down.VCs
+				op.downDepth = down.BufDepth
+				op.credits = make([]int, down.VCs)
+				for v := range op.credits {
+					op.credits[v] = down.BufDepth
+				}
+				op.owner = make([]*Packet, down.VCs)
+				op.pendingFree = make([]bool, down.VCs)
+			} else if term, ok := topo.PortTerminal(r, p); ok {
+				op.isTerm = true
+				op.term = term
+				op.downVCs = 1
+			} else {
+				op.dead = true
+			}
+			rt.out[p] = op
+		}
+	}
+	// Wire credit upstreams: the input port fed by output port (r,p) is
+	// (link.Router, link.Port).
+	for r := range n.routers {
+		for _, op := range n.routers[r].out {
+			if !op.dead && !op.isTerm {
+				n.routers[op.link.Router].in[op.link.Port].upstream = op
+			}
+		}
+	}
+	// Network interfaces.
+	n.nis = make([]ni, topo.NumTerminals())
+	for t := range n.nis {
+		q := &n.nis[t]
+		q.term = t
+		r, p := topo.TerminalRouter(t)
+		down := cfg.Routers[r]
+		q.up = outputPort{
+			router:      -1,
+			port:        -1,
+			link:        topology.Link{Router: r, Port: p},
+			slots:       cfg.LinkSlots(r, p),
+			downVCs:     down.VCs,
+			downDepth:   down.BufDepth,
+			credits:     make([]int, down.VCs),
+			owner:       make([]*Packet, down.VCs),
+			pendingFree: make([]bool, down.VCs),
+		}
+		for v := range q.up.credits {
+			q.up.credits[v] = down.BufDepth
+		}
+		n.routers[r].in[p].upstream = &q.up
+	}
+	n.stats.init(len(n.routers))
+	return n, nil
+}
+
+// SetOnPacket registers a callback invoked when a packet's tail flit is
+// consumed at its destination terminal.
+func (n *Network) SetOnPacket(fn func(*Packet)) { n.onPacket = fn }
+
+// Config returns the network configuration (read-only).
+func (n *Network) Config() *Config { return &n.cfg }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Inject queues a packet at its source terminal. The packet's ID and
+// CreateCycle are assigned here; Src, Dst and NumFlits must be set.
+func (n *Network) Inject(p *Packet) {
+	if p.Src < 0 || p.Src >= len(n.nis) || p.Dst < 0 || p.Dst >= len(n.nis) {
+		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst))
+	}
+	if p.NumFlits < 1 {
+		panic("noc: inject packet with no flits")
+	}
+	n.nextPktID++
+	p.ID = n.nextPktID
+	p.CreateCycle = n.cycle
+	p.MinSlots = 1 << 30
+	q := &n.nis[p.Src]
+	q.queue = append(q.queue, p)
+	n.queuedPackets++
+	n.stats.PacketsInjected++
+}
+
+// Quiesced reports whether no packets are queued or in flight.
+func (n *Network) Quiesced() bool { return n.queuedPackets == 0 && n.flitsInNetwork == 0 }
+
+// InFlight returns the number of flits currently inside the network.
+func (n *Network) InFlight() int { return n.flitsInNetwork }
+
+// Step advances the simulation by one cycle. It returns an error when the
+// deadlock watchdog fires.
+func (n *Network) Step() error {
+	n.cycle++
+	n.deliver()
+	n.inject()
+	n.routeAndAllocate()
+	n.switchAllocate()
+	n.accumulate()
+	if w := n.cfg.WatchdogCycles; w > 0 && n.flitsInNetwork > 0 && n.cycle-n.lastMove > int64(w) {
+		return fmt.Errorf("noc: deadlock watchdog: no flit moved for %d cycles at cycle %d (%d flits in flight)",
+			w, n.cycle, n.flitsInNetwork)
+	}
+	return nil
+}
+
+// deliver moves matured flits off link wires into downstream buffers or
+// sinks, and matured credits back to upstream counters.
+func (n *Network) deliver() {
+	for r := range n.routers {
+		for _, op := range n.routers[r].out {
+			n.deliverPort(op)
+		}
+	}
+	for t := range n.nis {
+		n.deliverPort(&n.nis[t].up)
+	}
+}
+
+func (n *Network) deliverPort(op *outputPort) {
+	// Credits.
+	k := 0
+	for _, ce := range op.creditQ {
+		if ce.at > n.cycle {
+			op.creditQ[k] = ce
+			k++
+			continue
+		}
+		if op.credits != nil {
+			op.credits[ce.vc]++
+			if op.credits[ce.vc] > op.downDepth {
+				panic("noc: credit overflow")
+			}
+			op.tryFree(ce.vc)
+		}
+	}
+	op.creditQ = op.creditQ[:k]
+	// Flits.
+	k = 0
+	for _, we := range op.wire {
+		if we.at > n.cycle {
+			op.wire[k] = we
+			k++
+			continue
+		}
+		n.lastMove = n.cycle
+		if op.slots < we.flit.Pkt.MinSlots {
+			we.flit.Pkt.MinSlots = op.slots
+		}
+		if op.isTerm {
+			n.sink(we.flit)
+			continue
+		}
+		rt := &n.routers[op.link.Router]
+		vc := &rt.in[op.link.Port].vcs[we.outVC]
+		f := we.flit
+		f.arrive = n.cycle
+		vc.buf.push(f)
+		rt.bufWrites++
+		if f.Kind.IsHead() && op.router >= 0 {
+			f.Pkt.Hops++
+			n.trace(EvHop, f.Pkt.ID, op.link.Router)
+		}
+	}
+	op.wire = op.wire[:k]
+}
+
+// sink consumes a flit at its destination terminal.
+func (n *Network) sink(f Flit) {
+	n.flitsInNetwork--
+	n.stats.FlitsReceived++
+	p := f.Pkt
+	p.received++
+	if f.Kind.IsTail() {
+		if p.received != p.NumFlits {
+			panic(fmt.Sprintf("noc: packet %d tail with %d/%d flits received", p.ID, p.received, p.NumFlits))
+		}
+		p.RecvCycle = n.cycle
+		n.trace(EvEject, p.ID, -1)
+		n.stats.recordPacket(p)
+		if n.onPacket != nil {
+			n.onPacket(p)
+		}
+	}
+}
+
+// inject pushes flits from NI source queues into router local input ports,
+// using the same VC-allocation and credit machinery as a link.
+func (n *Network) inject() {
+	for t := range n.nis {
+		q := &n.nis[t]
+		budget := q.up.slots
+		// Advance the active streams, one flit each.
+		live := q.streams[:0]
+		for i := range q.streams {
+			st := q.streams[i]
+			if budget > 0 && q.up.creditOK(st.vc) {
+				budget--
+				n.emitFlit(q, &st)
+			}
+			if st.pkt != nil {
+				live = append(live, st)
+			}
+		}
+		q.streams = live
+		// Open new streams for queued packets while slots and VCs allow.
+		for budget > 0 && q.queued() > 0 {
+			p := q.queue[q.qHead] // peek: pop only once the head flit wins a VC
+			class := n.alg.InitialClass(p.Src, p.Dst)
+			lo, hi := n.alg.ClassVCs(class, q.up.downVCs)
+			vc, ok := q.up.allocVC(p, lo, hi)
+			if !ok || !q.up.creditOK(vc) {
+				if ok {
+					// VC granted but no credit; release instantly (no flit
+					// was sent on it yet).
+					q.up.owner[vc] = nil
+				}
+				q.waitVC++
+				break
+			}
+			q.waitVC = 0
+			p.vcClass = class
+			p.InjectCycle = n.cycle
+			n.trace(EvInject, p.ID, q.up.link.Router)
+			q.pop()
+			n.queuedPackets--
+			st := niStream{pkt: p, vc: vc}
+			budget--
+			n.emitFlit(q, &st)
+			if st.pkt != nil {
+				q.streams = append(q.streams, st)
+			}
+		}
+		// Spend leftover wide-link slots on second flits of active streams
+		// (a same-VC combined pair).
+		for i := range q.streams {
+			if budget == 0 {
+				break
+			}
+			st := &q.streams[i]
+			if st.pkt != nil && q.up.creditOK(st.vc) {
+				budget--
+				n.emitFlit(q, st)
+			}
+		}
+		k := 0
+		for _, st := range q.streams {
+			if st.pkt != nil {
+				q.streams[k] = st
+				k++
+			}
+		}
+		q.streams = q.streams[:k]
+	}
+}
+
+// emitFlit sends the next flit of a stream and closes the stream on tail.
+func (n *Network) emitFlit(q *ni, st *niStream) {
+	p := st.pkt
+	kind := BodyFlit
+	switch {
+	case p.NumFlits == 1:
+		kind = SingleFlit
+	case st.nextSeq == 0:
+		kind = HeadFlit
+	case st.nextSeq == p.NumFlits-1:
+		kind = TailFlit
+	}
+	f := Flit{Pkt: p, Seq: st.nextSeq, Kind: kind}
+	q.up.consumeCredit(st.vc)
+	q.up.wire = append(q.up.wire, wireEvt{flit: f, outVC: st.vc, at: n.cycle + 1})
+	n.flitsInNetwork++
+	n.stats.FlitsInjected++
+	n.lastMove = n.cycle
+	st.nextSeq++
+	if kind.IsTail() {
+		q.up.releaseOnTail(st.vc)
+		st.pkt = nil
+	}
+}
+
+// routeAndAllocate is pipeline stage 1a: route computation for fresh heads
+// and downstream VC allocation for waiting heads.
+func (n *Network) routeAndAllocate() {
+	for r := range n.routers {
+		rt := &n.routers[r]
+		radix := len(rt.in)
+		for pi0 := 0; pi0 < radix; pi0++ {
+			pi := (pi0 + int(n.cycle)) % radix
+			ip := &rt.in[pi]
+			for vi := range ip.vcs {
+				vc := &ip.vcs[vi]
+				if vc.state == vcIdle {
+					head := vc.buf.peek()
+					if head == nil || !head.Kind.IsHead() || head.arrive >= n.cycle {
+						continue
+					}
+					p := head.Pkt
+					d := n.route(r, p)
+					vc.outPort, vc.class = d.OutPort, d.VCClass
+					p.vcClass = d.VCClass
+					vc.waitCycles = 0
+					vc.state = vcWaitVC
+				}
+				if vc.state == vcWaitVC {
+					head := vc.buf.peek()
+					p := head.Pkt
+					out := rt.out[vc.outPort]
+					lo, hi := n.alg.ClassVCs(vc.class, out.downVCs)
+					if ovc, ok := out.allocVC(p, lo, hi); ok {
+						vc.outVC = ovc
+						vc.state = vcActive
+						vc.waitCycles = 0
+						continue
+					}
+					vc.waitCycles++
+					rt.arbOps++
+					if n.escaper != nil && !p.escaped && vc.waitCycles > n.escaper.EscapeThreshold() {
+						p.escaped = true
+						n.trace(EvEscape, p.ID, r)
+						d := n.escaper.EscapeHop(r, p.Src, p.Dst)
+						vc.outPort, vc.class = d.OutPort, d.VCClass
+						p.vcClass = d.VCClass
+						vc.waitCycles = 0
+						n.stats.Escapes++
+					}
+				}
+			}
+		}
+	}
+}
+
+// route computes the next-hop decision for packet p at router r.
+func (n *Network) route(r int, p *Packet) routing.Decision {
+	if p.escaped && n.escaper != nil {
+		return n.escaper.EscapeHop(r, p.Src, p.Dst)
+	}
+	return n.alg.NextHop(r, p.Src, p.Dst, p.vcClass)
+}
+
+// saIterations is the number of request/grant rounds of the separable
+// switch allocator per cycle. Multiple rounds model the paper's dual
+// parallel p:1 output arbiters (Figure 6(b)): they let a wide output
+// collect a second flit — from a second VC of the same input port, from a
+// different input port, or the next flit of the same VC — which is what
+// sustains the 40%/80% low/high-load combining rates of Section 3.3.
+const saIterations = 3
+
+// switchAllocate is pipeline stage 1b plus stage 2: the separable switch
+// allocator matches input VCs to output slots iteratively, then winning
+// flits traverse crossbar and link. Constraints honored per cycle:
+//
+//   - an input port sends at most two flits, and only toward a single
+//     output port (the split-datapath crossbar of Figure 4),
+//   - an output port accepts at most `slots` flits (2 on wide links),
+//   - every flit needs a credit on its downstream VC.
+func (n *Network) switchAllocate() {
+	for r := range n.routers {
+		rt := &n.routers[r]
+		radix := len(rt.in)
+		if rt.portSent == nil {
+			rt.portSent = make([]int8, radix)
+			rt.outLeft = make([]int8, radix)
+			rt.outSent = make([]int8, radix)
+		}
+		for i := 0; i < radix; i++ {
+			rt.portSent[i] = 0
+			rt.outLeft[i] = int8(rt.out[i].slots)
+			rt.outSent[i] = 0
+		}
+		// Allocation fidelity differs by router class. The homogeneous
+		// baseline router is the classic single-iteration separable
+		// allocator: each input port's v:1 arbiter nominates its first
+		// requesting VC, and the nomination is simply lost when its output
+		// has already been granted. Split-datapath HeteroNoC routers
+		// (Figures 4-6) run the dual parallel output arbiters over the two
+		// DSET halves: up to two flits per input port, a blocked request
+		// falls through to another VC, and extra rounds model the second
+		// p:1 arbiter supplying a matching flit for combining.
+		iters, maxPerPort, fallthru := 1, int8(1), false
+		switch {
+		case rt.cfg.SplitDatapath:
+			iters, maxPerPort, fallthru = saIterations, 2, true
+		case rt.cfg.ImprovedSA:
+			iters, fallthru = 2, true
+		}
+		for iter := 0; iter < iters; iter++ {
+			moved := false
+			for pi0 := 0; pi0 < radix; pi0++ {
+				pi := (pi0 + int(n.cycle)) % radix
+				ip := &rt.in[pi]
+				if rt.portSent[pi] >= maxPerPort {
+					continue
+				}
+				nvc := len(ip.vcs)
+				for i := 0; i < nvc; i++ {
+					vi := (ip.rr + i) % nvc
+					vc := &ip.vcs[vi]
+					if !n.eligible(rt, vc) {
+						continue
+					}
+					rt.arbOps++
+					if rt.outLeft[vc.outPort] == 0 {
+						if fallthru {
+							continue // DSET halves let another VC bid
+						}
+						break // baseline: the nomination is lost this cycle
+					}
+					out := rt.out[vc.outPort]
+					n.sendFlit(rt, pi, vc, out)
+					rt.portSent[pi]++
+					rt.outLeft[vc.outPort]--
+					rt.outSent[vc.outPort]++
+					ip.rr = (vi + 1) % nvc
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		for po := 0; po < radix; po++ {
+			if rt.outSent[po] > 0 {
+				out := rt.out[po]
+				out.rrOut++
+				out.busyCycles++
+				if rt.outSent[po] == 2 {
+					out.combineCycles++
+				}
+			}
+		}
+	}
+}
+
+// eligible reports whether an input VC can bid for the switch this cycle.
+func (n *Network) eligible(rt *router, vc *inVC) bool {
+	if vc.state != vcActive {
+		return false
+	}
+	head := vc.buf.peek()
+	if head == nil || head.arrive >= n.cycle {
+		return false
+	}
+	return rt.out[vc.outPort].creditOK(vc.outVC)
+}
+
+// sendFlit pops a winning flit from its input VC, returns a credit
+// upstream, and launches the flit onto the output link.
+func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort) {
+	f := vc.buf.pop()
+	rt.bufReads++
+	rt.xbarFlits++
+	out.flitsSent++
+	n.lastMove = n.cycle
+	if up := rt.in[inPort].upstream; up != nil {
+		up.creditQ = append(up.creditQ, creditEvt{vc: vcIndexOf(rt, inPort, vc), at: n.cycle + 1})
+	}
+	out.consumeCredit(vc.outVC)
+	out.wire = append(out.wire, wireEvt{flit: f, outVC: vc.outVC, at: n.cycle + 2})
+	if f.Kind.IsTail() {
+		out.releaseOnTail(vc.outVC)
+		vc.state = vcIdle
+	}
+}
+
+// vcIndexOf recovers the index of vc within its input port (the VCs slice is
+// contiguous, so pointer arithmetic via comparison is safe and cheap).
+func vcIndexOf(rt *router, inPort int, vc *inVC) int {
+	vcs := rt.in[inPort].vcs
+	for i := range vcs {
+		if &vcs[i] == vc {
+			return i
+		}
+	}
+	panic("noc: vc not found in its port")
+}
+
+// accumulate gathers per-cycle occupancy statistics.
+func (n *Network) accumulate() {
+	n.stats.Cycles++
+	for r := range n.routers {
+		rt := &n.routers[r]
+		rt.bufOccSum += int64(rt.occupied())
+	}
+}

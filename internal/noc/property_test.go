@@ -1,0 +1,133 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heteronoc/internal/routing"
+	"heteronoc/internal/topology"
+)
+
+// TestZeroLoadLatencyProperty: for any (src, dst, size), a lone packet's
+// latency equals the ideal pipeline formula — blocking is exactly zero at
+// zero load. This pins every stage of the router pipeline at once.
+func TestZeroLoadLatencyProperty(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	f := func(a, b, c uint8) bool {
+		src, dst := int(a)%64, int(b)%64
+		flits := 1 + int(c)%8
+		n, err := New(Config{
+			Topo:           m,
+			Routing:        routing.NewXY(m),
+			Routers:        []RouterConfig{{VCs: 3, BufDepth: 5}},
+			FlitWidthBits:  192,
+			WatchdogCycles: 5000,
+		})
+		if err != nil {
+			return false
+		}
+		var done *Packet
+		n.SetOnPacket(func(p *Packet) { done = p })
+		n.Inject(&Packet{Src: src, Dst: dst, NumFlits: flits})
+		for i := 0; i < 300 && !n.Quiesced(); i++ {
+			if err := n.Step(); err != nil {
+				return false
+			}
+		}
+		if done == nil {
+			return false
+		}
+		total := done.RecvCycle - done.CreateCycle
+		queuing := done.InjectCycle - done.CreateCycle
+		return total == IdealTransferCycles(done.Hops, flits, done.MinSlots)+queuing
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHopCountProperty: delivered hop counts always equal the X-Y
+// distance, for any packet mix on the heterogeneous network.
+func TestHopCountProperty(t *testing.T) {
+	n := heteroDiagonalNet(t)
+	m := topology.NewMesh(8, 8)
+	bad := 0
+	n.SetOnPacket(func(p *Packet) {
+		if p.Hops != m.HopsXY(p.Src, p.Dst) {
+			bad++
+		}
+	})
+	f := func(a, b uint8) bool {
+		n.Inject(&Packet{Src: int(a) % 64, Dst: int(b) % 64, NumFlits: 6})
+		for i := 0; i < 5; i++ {
+			if err := n.Step(); err != nil {
+				return false
+			}
+		}
+		return bad == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	runUntilQuiesced(t, n, 100000)
+	if bad != 0 {
+		t.Fatalf("%d packets took non-minimal paths", bad)
+	}
+}
+
+// TestRingProperty exercises the flit FIFO against a model queue.
+func TestRingProperty(t *testing.T) {
+	r := newRing(5)
+	var model []int
+	seq := 0
+	f := func(op uint8) bool {
+		if op%2 == 0 && !r.full() {
+			p := &Packet{NumFlits: 1}
+			r.push(Flit{Pkt: p, Seq: seq})
+			model = append(model, seq)
+			seq++
+		} else if r.len() > 0 {
+			got := r.pop()
+			want := model[0]
+			model = model[1:]
+			if got.Seq != want {
+				return false
+			}
+		}
+		if r.len() != len(model) {
+			return false
+		}
+		if head := r.peek(); head != nil && head.Seq != model[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRingOverflowPanics pins the defensive capacity check.
+func TestRingOverflowPanics(t *testing.T) {
+	r := newRing(2)
+	p := &Packet{}
+	r.push(Flit{Pkt: p})
+	r.push(Flit{Pkt: p})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	r.push(Flit{Pkt: p})
+}
+
+// TestPopEmptyPanics pins the defensive underflow check.
+func TestPopEmptyPanics(t *testing.T) {
+	r := newRing(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("underflow did not panic")
+		}
+	}()
+	r.pop()
+}

@@ -1,0 +1,40 @@
+package noc
+
+// ring is a fixed-capacity FIFO of flits, sized to the VC buffer depth.
+type ring struct {
+	buf   []Flit
+	head  int
+	count int
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]Flit, capacity)} }
+
+func (r *ring) len() int   { return r.count }
+func (r *ring) cap() int   { return len(r.buf) }
+func (r *ring) full() bool { return r.count == len(r.buf) }
+
+func (r *ring) push(f Flit) {
+	if r.full() {
+		panic("noc: VC buffer overflow (credit accounting broken)")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = f
+	r.count++
+}
+
+func (r *ring) peek() *Flit {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.buf[r.head]
+}
+
+func (r *ring) pop() Flit {
+	if r.count == 0 {
+		panic("noc: pop from empty VC buffer")
+	}
+	f := r.buf[r.head]
+	r.buf[r.head].Pkt = nil // drop reference for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return f
+}

@@ -1,0 +1,156 @@
+package noc
+
+import "heteronoc/internal/topology"
+
+type vcState uint8
+
+const (
+	vcIdle   vcState = iota // no packet; waiting for a head flit
+	vcWaitVC                // head routed, waiting for a downstream VC
+	vcActive                // downstream VC held; flits flow
+)
+
+// inVC is one virtual channel of an input port.
+type inVC struct {
+	buf        ring
+	state      vcState
+	outPort    int
+	outVC      int
+	class      int
+	waitCycles int // consecutive cycles of failed VC allocation
+}
+
+// inputPort is the buffered side of a link.
+type inputPort struct {
+	vcs []inVC
+	rr  int // round-robin pointer of the input-stage (v:1) arbiter
+	// upstream is the output port (router or NI) feeding this input; credits
+	// travel back to it. nil for dead edge ports.
+	upstream *outputPort
+}
+
+type wireEvt struct {
+	flit  Flit
+	outVC int
+	at    int64
+}
+
+type creditEvt struct {
+	vc int
+	at int64
+}
+
+// outputPort is the sending side of a link plus the upstream-resident state
+// of the downstream input port: per-VC credits and VC ownership.
+type outputPort struct {
+	router int // owning router, -1 when the "output" is an NI injection port
+	port   int
+	link   topology.Link
+	isTerm bool
+	term   int
+	dead   bool
+	slots  int // flits per cycle: 2 on wide links
+
+	// Downstream VC bookkeeping. credits is nil for terminal (ejection)
+	// ports, which consume flits unconditionally.
+	downVCs     int
+	downDepth   int
+	credits     []int
+	owner       []*Packet
+	pendingFree []bool
+	rrVC        int // VC allocation round-robin pointer
+	rrOut       int // output-stage (p:1) arbiter round-robin pointer
+
+	wire    []wireEvt
+	creditQ []creditEvt
+
+	// Statistics.
+	flitsSent     int64
+	busyCycles    int64
+	combineCycles int64
+}
+
+// creditOK reports whether a flit can be sent on downstream VC vc.
+func (o *outputPort) creditOK(vc int) bool {
+	return o.credits == nil || o.credits[vc] > 0
+}
+
+// consumeCredit charges one buffer slot downstream.
+func (o *outputPort) consumeCredit(vc int) {
+	if o.credits != nil {
+		o.credits[vc]--
+		if o.credits[vc] < 0 {
+			panic("noc: negative credit count")
+		}
+	}
+}
+
+// allocVC tries to allocate a free downstream VC in [lo, hi) for pkt,
+// starting the scan at the round-robin pointer. Terminal ports always grant
+// VC 0 (the sink consumes flits unconditionally).
+func (o *outputPort) allocVC(pkt *Packet, lo, hi int) (int, bool) {
+	if o.isTerm {
+		return 0, true
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	n := hi - lo
+	start := o.rrVC % n
+	for i := 0; i < n; i++ {
+		c := lo + (start+i)%n
+		if o.owner[c] == nil && !o.pendingFree[c] {
+			o.owner[c] = pkt
+			o.rrVC++
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// releaseOnTail frees the downstream VC as soon as the tail flit has been
+// sent (non-atomic VC reuse). This is safe because each VC is a strict
+// FIFO: a new packet's head can only be processed downstream after the old
+// packet's tail has drained past it, and credits bound total occupancy.
+func (o *outputPort) releaseOnTail(vc int) {
+	if o.isTerm {
+		return
+	}
+	o.owner[vc] = nil
+}
+
+func (o *outputPort) tryFree(vc int) {}
+
+// router is one switch node.
+type router struct {
+	id  int
+	cfg RouterConfig
+	in  []inputPort
+	out []*outputPort
+
+	// Per-cycle scratch state of the iterative separable allocator,
+	// reused across cycles: flits sent per input port, slot budget left
+	// per output, and flits sent per output.
+	portSent []int8
+	outLeft  []int8
+	outSent  []int8
+
+	// Statistics.
+	bufOccSum int64 // sum over cycles of occupied buffer slots
+	bufSlots  int   // total buffer slots (for utilization normalization)
+	bufReads  int64
+	bufWrites int64
+	xbarFlits int64
+	arbOps    int64
+}
+
+// occupied returns the number of buffered flits across all input VCs.
+func (r *router) occupied() int {
+	n := 0
+	for pi := range r.in {
+		for vi := range r.in[pi].vcs {
+			n += r.in[pi].vcs[vi].buf.len()
+		}
+	}
+	return n
+}

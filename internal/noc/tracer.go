@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies packet life-cycle events for the tracer.
+type EventKind uint8
+
+const (
+	// EvInject: the head flit left the NI queue into the source router.
+	EvInject EventKind = iota
+	// EvHop: the head flit was delivered into a router input buffer.
+	EvHop
+	// EvEscape: the packet diverted to the escape sub-network.
+	EvEscape
+	// EvEject: the tail flit was consumed at the destination.
+	EvEject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "inject"
+	case EvHop:
+		return "hop"
+	case EvEscape:
+		return "escape"
+	case EvEject:
+		return "eject"
+	}
+	return "?"
+}
+
+// Event is one tracer record.
+type Event struct {
+	Cycle  int64
+	Kind   EventKind
+	Packet uint64
+	// Router is the router involved (the receiving router for hops, the
+	// source router for injects, -1 for ejects).
+	Router int
+}
+
+// Tracer receives packet life-cycle events. Implementations must be fast:
+// the hooks sit on the simulator's hot path when tracing is enabled.
+type Tracer interface {
+	PacketEvent(e Event)
+}
+
+// SetTracer installs (or removes, with nil) the event tracer.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+func (n *Network) trace(kind EventKind, pkt uint64, router int) {
+	if n.tracer != nil {
+		n.tracer.PacketEvent(Event{Cycle: n.cycle, Kind: kind, Packet: pkt, Router: router})
+	}
+}
+
+// CollectingTracer buffers events, optionally filtered to one packet ID
+// (0 = all packets). It is the ready-made implementation for debugging and
+// tests.
+type CollectingTracer struct {
+	// Only filters to a single packet ID when nonzero.
+	Only   uint64
+	Events []Event
+}
+
+// PacketEvent implements Tracer.
+func (c *CollectingTracer) PacketEvent(e Event) {
+	if c.Only != 0 && e.Packet != c.Only {
+		return
+	}
+	c.Events = append(c.Events, e)
+}
+
+// PathOf returns the router sequence a packet visited.
+func (c *CollectingTracer) PathOf(pkt uint64) []int {
+	var out []int
+	for _, e := range c.Events {
+		if e.Packet != pkt {
+			continue
+		}
+		switch e.Kind {
+		case EvInject, EvHop:
+			out = append(out, e.Router)
+		}
+	}
+	return out
+}
+
+// Dump renders the event log for one packet.
+func (c *CollectingTracer) Dump(pkt uint64) string {
+	var b strings.Builder
+	for _, e := range c.Events {
+		if e.Packet != pkt {
+			continue
+		}
+		fmt.Fprintf(&b, "cycle %6d  %-7s router %d\n", e.Cycle, e.Kind, e.Router)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the SVG as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "Latency <vs> load & stuff",
+		XLabel: "injection rate",
+		YLabel: "latency (ns)",
+		Series: []Series{
+			{Name: "Baseline", X: []float64{0.01, 0.02, 0.03}, Y: []float64{10, 12, 30}},
+			{Name: "Diagonal+BL", X: []float64{0.01, 0.02, 0.03}, Y: []float64{9, 10, 18}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "Baseline", "Diagonal+BL", "injection rate", "&lt;vs&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("line chart missing %q", want)
+		}
+	}
+}
+
+func TestLineChartClipsAtYMax(t *testing.T) {
+	c := &LineChart{
+		Title:  "clip",
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{10, 100000}}},
+		YMax:   50,
+	}
+	wellFormed(t, c.SVG())
+}
+
+func TestEmptyChartsDoNotPanic(t *testing.T) {
+	wellFormed(t, (&LineChart{Title: "empty"}).SVG())
+	wellFormed(t, (&BarChart{Title: "empty"}).SVG())
+	wellFormed(t, (&Scatter{Title: "empty"}).SVG())
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:  "IPC improvement",
+		YLabel: "%",
+		Series: []string{"Center+BL", "Diagonal+BL"},
+		Groups: []BarGroup{
+			{Label: "SAP", Values: []float64{7, 4}},
+			{Label: "TPC-C", Values: []float64{-2, 3}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") < 5 { // frame + 4 bars + legend boxes
+		t.Error("bar chart missing bars")
+	}
+	if !strings.Contains(svg, "TPC-C") {
+		t.Error("group label missing")
+	}
+}
+
+func TestHeatChartSVG(t *testing.T) {
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i) / 15
+	}
+	c := &HeatChart{Title: "Buffer utilization", W: 4, H: 4, Values: vals}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") < 16 {
+		t.Error("heat map missing cells")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	c := &Scatter{
+		Title:  "Latency vs jitter",
+		XLabel: "std dev",
+		YLabel: "latency",
+		Names:  []string{"homo", "hetero"},
+		Points: []ScatterPoint{
+			{Label: "SAP", X: 0.6, Y: 20, Series: 0},
+			{Label: "SAP", X: 0.4, Y: 16, Series: 1},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Count(svg, "<circle") < 2 {
+		t.Error("scatter missing points")
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.25, 0.5, 0.75, 1, 2} {
+		c := heatColor(v)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("heatColor(%v) = %q", v, c)
+		}
+	}
+}
+
+func TestNiceTicksProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if math.Abs(lo) > 1e12 || math.Abs(hi) > 1e12 {
+			return true
+		}
+		ticks := niceTicks(lo, hi, 6)
+		if len(ticks) < 1 || len(ticks) > 20 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) != Color(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:   "Latency breakdown",
+		YLabel:  "cycles",
+		Series:  []string{"queuing", "blocking", "transfer"},
+		Stacked: true,
+		Groups: []BarGroup{
+			{Label: "Baseline", Values: []float64{2, 18, 25}},
+			{Label: "Diagonal+BL", Values: []float64{2, 9, 25}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") < 7 { // frame + 6 segments + legend
+		t.Error("stacked chart missing segments")
+	}
+}

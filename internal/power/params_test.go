@@ -1,0 +1,104 @@
+package power
+
+import (
+	"testing"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+)
+
+func TestParamsForPlusBKeepsBaselineWidths(t *testing.T) {
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, false) // +B
+	for r := 0; r < 64; r++ {
+		p := ParamsFor(l, r)
+		if p.BufBits != 192 || p.XbarBits != 192 || p.LinkBits != 192 {
+			t.Fatalf("router %d: +B widths %+v, want all 192", r, p)
+		}
+		if p.CalPowerW != 0 {
+			t.Fatalf("router %d: +B routers must not rescale to Table 1 (never synthesized)", r)
+		}
+	}
+	// VC counts still differ per class.
+	bigSeen, smallSeen := false, false
+	for r := 0; r < 64; r++ {
+		switch ParamsFor(l, r).VCs {
+		case 6:
+			bigSeen = true
+		case 2:
+			smallSeen = true
+		}
+	}
+	if !bigSeen || !smallSeen {
+		t.Error("+B layout lost its VC heterogeneity")
+	}
+}
+
+func TestParamsForPlusBLUsesPublishedPoints(t *testing.T) {
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	specs := core.Specs()
+	for r := 0; r < 64; r++ {
+		p := ParamsFor(l, r)
+		switch l.Class[r] {
+		case core.ClassSmall:
+			if p.XbarBits != 128 || p.CalPowerW != specs[core.ClassSmall].PowerW {
+				t.Fatalf("small router %d params %+v", r, p)
+			}
+		case core.ClassBig:
+			if p.XbarBits != 256 || p.BufBits != 128 || p.CalPowerW != specs[core.ClassBig].PowerW {
+				t.Fatalf("big router %d params %+v", r, p)
+			}
+		}
+	}
+}
+
+func TestNetworkPowerMonotoneInActivity(t *testing.T) {
+	m := NewModel()
+	l := core.NewBaseline(8, 8)
+	mk := func(scale int64) []noc.RouterActivity {
+		act := make([]noc.RouterActivity, 64)
+		for i := range act {
+			act[i] = noc.RouterActivity{
+				Cycles: 1000, BufReads: 500 * scale, BufWrites: 500 * scale,
+				XbarFlits: 500 * scale, ArbOps: 1000 * scale, LinkFlits: 500 * scale,
+			}
+		}
+		return act
+	}
+	low := Network(m, l, mk(1)).Total()
+	high := Network(m, l, mk(3)).Total()
+	if high <= low {
+		t.Errorf("power not monotone: %.2f -> %.2f", low, high)
+	}
+}
+
+func TestAllLayoutsProducePositivePower(t *testing.T) {
+	m := NewModel()
+	idle := make([]noc.RouterActivity, 64)
+	for i := range idle {
+		idle[i] = noc.RouterActivity{Cycles: 100}
+	}
+	for _, l := range core.AllLayouts(8, 8) {
+		pb := Network(m, l, idle)
+		if pb.Total() <= 0 {
+			t.Errorf("%s: idle power %.3f", l.Name, pb.Total())
+		}
+		if pb.Buffers <= 0 || pb.Xbar <= 0 || pb.Arbiters <= 0 || pb.Links <= 0 {
+			t.Errorf("%s: component missing in %+v", l.Name, pb)
+		}
+	}
+}
+
+func TestHeteroIdlePowerBelowBaseline(t *testing.T) {
+	// Leakage alone: 48 small + 16 big routers must leak less than 64
+	// baseline routers (narrower buffers and datapaths at most nodes).
+	m := NewModel()
+	idle := make([]noc.RouterActivity, 64)
+	for i := range idle {
+		idle[i] = noc.RouterActivity{Cycles: 100}
+	}
+	base := Network(m, core.NewBaseline(8, 8), idle).Total()
+	het := Network(m, core.NewLayout(core.PlacementDiagonal, 8, 8, true), idle).Total()
+	if het >= base {
+		t.Errorf("hetero idle power %.2f not below baseline %.2f", het, base)
+	}
+}

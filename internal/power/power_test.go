@@ -1,0 +1,161 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/traffic"
+)
+
+func TestCalibrationMatchesTable1(t *testing.T) {
+	m := NewModel()
+	specs := core.Specs()
+	base := NewBaselineParamsForTest()
+	if got := m.CalibrationPower(base); math.Abs(got-0.67) > 1e-9 {
+		t.Errorf("baseline calibration power %.4f, want 0.67", got)
+	}
+	bl := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	var smallR, bigR int = -1, -1
+	for r, c := range bl.Class {
+		if c == core.ClassSmall && smallR < 0 {
+			smallR = r
+		}
+		if c == core.ClassBig && bigR < 0 {
+			bigR = r
+		}
+	}
+	if got := m.CalibrationPower(ParamsFor(bl, smallR)); math.Abs(got-specs[core.ClassSmall].PowerW) > 1e-9 {
+		t.Errorf("small calibration power %.4f, want %.2f", got, specs[core.ClassSmall].PowerW)
+	}
+	if got := m.CalibrationPower(ParamsFor(bl, bigR)); math.Abs(got-specs[core.ClassBig].PowerW) > 1e-9 {
+		t.Errorf("big calibration power %.4f, want %.2f", got, specs[core.ClassBig].PowerW)
+	}
+}
+
+// NewBaselineParamsForTest exposes the baseline parameters.
+func NewBaselineParamsForTest() RouterParams {
+	l := core.NewBaseline(8, 8)
+	return ParamsFor(l, 0)
+}
+
+func TestBufferShareAtCalibration(t *testing.T) {
+	m := NewModel()
+	p := NewBaselineParamsForTest()
+	a := noc.RouterActivity{
+		Cycles: 1000, BufReads: 2500, BufWrites: 2500,
+		XbarFlits: 2500, ArbOps: 5000, LinkFlits: 2500,
+	}
+	b := m.Router(p, a, 2.20)
+	if math.Abs(b.Total()-0.67) > 1e-9 {
+		t.Fatalf("router at calibration activity = %.4f W, want 0.67", b.Total())
+	}
+	if share := b.Buffers / b.Total(); math.Abs(share-0.35) > 0.01 {
+		t.Errorf("buffer share %.3f, want ~0.35 (paper: buffers ~35%% of router power)", share)
+	}
+}
+
+func TestPowerGrowsWithActivity(t *testing.T) {
+	m := NewModel()
+	p := NewBaselineParamsForTest()
+	idle := m.Router(p, noc.RouterActivity{Cycles: 1000}, 2.20)
+	busy := m.Router(p, noc.RouterActivity{
+		Cycles: 1000, BufReads: 4000, BufWrites: 4000, XbarFlits: 4000, ArbOps: 8000, LinkFlits: 4000,
+	}, 2.20)
+	if idle.Total() <= 0 {
+		t.Error("idle router must still leak")
+	}
+	if busy.Total() <= idle.Total() {
+		t.Error("power must grow with activity")
+	}
+	// Idle power is pure leakage: 30% of the calibration total.
+	if want := 0.30 * 0.67; math.Abs(idle.Total()-want) > 1e-9 {
+		t.Errorf("idle power %.4f, want %.4f", idle.Total(), want)
+	}
+}
+
+func TestDynamicScalesWithFrequency(t *testing.T) {
+	m := NewModel()
+	p := NewBaselineParamsForTest()
+	a := noc.RouterActivity{Cycles: 1000, BufReads: 2000, BufWrites: 2000, XbarFlits: 2000, ArbOps: 4000, LinkFlits: 2000}
+	slow := m.Router(p, a, 1.0)
+	fast := m.Router(p, a, 2.0)
+	leak := m.Router(p, noc.RouterActivity{Cycles: 1000}, 2.0).Total()
+	// (fast - leak) must be exactly twice (slow - leak).
+	if math.Abs((fast.Total()-leak)-2*(slow.Total()-leak)) > 1e-9 {
+		t.Error("dynamic power does not scale linearly with frequency")
+	}
+}
+
+func TestHeteroNetworkPowerBelowBaseline(t *testing.T) {
+	// End to end: run UR traffic on baseline and Diagonal+BL, expect the
+	// heterogeneous network to consume noticeably less power (paper: ~22-28%
+	// reduction) with buffers contributing the largest cut.
+	run := func(l core.Layout) Breakdown {
+		net, err := l.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := traffic.Run(net, traffic.RunConfig{
+			Pattern:        traffic.UniformRandom{N: 64},
+			Process:        traffic.Bernoulli{P: 0.02},
+			DataFlits:      l.DataPacketFlits(),
+			WarmupPackets:  300,
+			MeasurePackets: 4000,
+			Seed:           5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Network(NewModel(), l, res.Activity)
+	}
+	base := run(core.NewBaseline(8, 8))
+	het := run(core.NewLayout(core.PlacementDiagonal, 8, 8, true))
+	red := 1 - het.Total()/base.Total()
+	if red < 0.10 {
+		t.Errorf("hetero power reduction %.1f%%, want >10%% (paper ~22-28%%)", 100*red)
+	}
+	bufRed := 1 - het.Buffers/base.Buffers
+	if bufRed < 0.20 {
+		t.Errorf("buffer power reduction %.1f%%, want >20%% (paper ~33%%)", 100*bufRed)
+	}
+}
+
+func TestPlusBPowerRoughlyNeutral(t *testing.T) {
+	// Buffer-only redistribution must not change network power much
+	// (paper: "+B does not reduce the overall power significantly").
+	run := func(l core.Layout) float64 {
+		net, err := l.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := traffic.Run(net, traffic.RunConfig{
+			Pattern:        traffic.UniformRandom{N: 64},
+			Process:        traffic.Bernoulli{P: 0.02},
+			DataFlits:      l.DataPacketFlits(),
+			WarmupPackets:  300,
+			MeasurePackets: 3000,
+			Seed:           5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Network(NewModel(), l, res.Activity).Total()
+	}
+	base := run(core.NewBaseline(8, 8))
+	plusB := run(core.NewLayout(core.PlacementDiagonal, 8, 8, false))
+	ratio := plusB / base
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("+B power ratio %.3f, want near 1.0", ratio)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{Buffers: 1, Xbar: 2, Arbiters: 3, Links: 4}
+	b := Breakdown{Buffers: 10, Xbar: 20, Arbiters: 30, Links: 40}
+	a.Add(b)
+	if a.Total() != 110 {
+		t.Errorf("total %v, want 110", a.Total())
+	}
+}

@@ -1,0 +1,32 @@
+package routing
+
+import "heteronoc/internal/topology"
+
+// FBflyRC is deterministic row-then-column routing on a flattened butterfly:
+// at most one row hop followed by at most one column hop. Like X-Y on a
+// mesh, the strict dimension order makes it deadlock free with one class.
+type FBflyRC struct {
+	topo *topology.FBfly
+}
+
+// NewFBflyRC returns row-column routing over a flattened butterfly.
+func NewFBflyRC(t *topology.FBfly) *FBflyRC { return &FBflyRC{topo: t} }
+
+func (f *FBflyRC) Name() string                      { return "fbfly-rc" }
+func (f *FBflyRC) NumVCClasses() int                 { return 1 }
+func (f *FBflyRC) InitialClass(src, dst int) int     { return 0 }
+func (f *FBflyRC) ClassVCs(_, numVCs int) (int, int) { return fullRange(numVCs) }
+
+func (f *FBflyRC) NextHop(r, src, dst, class int) Decision {
+	dstR, dstP := f.topo.TerminalRouter(dst)
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: class}
+	}
+	cx, _ := f.topo.Coord(r)
+	dx, _ := f.topo.Coord(dstR)
+	if cx != dx {
+		return Decision{OutPort: f.topo.RowPort(r, dx), VCClass: class}
+	}
+	_, dy := f.topo.Coord(dstR)
+	return Decision{OutPort: f.topo.ColPort(r, dy), VCClass: class}
+}

@@ -1,0 +1,54 @@
+// Package routing implements the routing algorithms used in the HeteroNoC
+// study: deterministic X-Y on meshes, dateline X-Y on tori, row-column
+// routing on flattened butterflies, and table-based routing with escape
+// virtual channels for the asymmetric-CMP case study.
+//
+// An Algorithm is a per-hop function from (router, src, dst, vc class) to
+// (output port, next vc class). VC classes partition the virtual channels of
+// each port for deadlock avoidance; the simulator restricts VC allocation to
+// the range the algorithm reports for a class.
+package routing
+
+import "fmt"
+
+// Decision is the outcome of one routing step.
+type Decision struct {
+	// OutPort is the output port at the current router.
+	OutPort int
+	// VCClass is the class the packet travels in on the next hop.
+	VCClass int
+}
+
+// Algorithm decides the path of packets hop by hop.
+type Algorithm interface {
+	Name() string
+	// NumVCClasses reports how many VC classes the algorithm distinguishes.
+	NumVCClasses() int
+	// InitialClass returns the VC class used to inject a packet.
+	InitialClass(src, dst int) int
+	// NextHop returns the routing decision at router r for a packet
+	// traveling from terminal src to terminal dst in VC class class.
+	NextHop(r, src, dst, class int) Decision
+	// ClassVCs maps a VC class to the half-open range [lo, hi) of virtual
+	// channel indices it may use on a port with numVCs virtual channels.
+	ClassVCs(class, numVCs int) (lo, hi int)
+}
+
+// Escaper is implemented by algorithms (table-based routing) whose primary
+// paths are not provably deadlock free. When a head flit has been unable to
+// acquire a virtual channel for EscapeThreshold consecutive cycles, the
+// simulator re-routes it with EscapeHop, which must return a decision on a
+// deadlock-free sub-network (dimension-ordered routing on the reserved
+// escape VC). Once a packet escapes it stays escaped to its destination.
+type Escaper interface {
+	EscapeHop(r, src, dst int) Decision
+	EscapeThreshold() int
+}
+
+func fullRange(numVCs int) (int, int) { return 0, numVCs }
+
+func validatePort(alg string, r, port int) {
+	if port < 0 {
+		panic(fmt.Sprintf("routing %s: negative output port at router %d", alg, r))
+	}
+}

@@ -1,0 +1,340 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heteronoc/internal/topology"
+)
+
+// walk follows an algorithm from src to dst and returns the router path and
+// the number of hops, failing the test on livelock (path longer than the
+// router count times four).
+func walk(t *testing.T, topo topology.Topology, alg Algorithm, src, dst int) []int {
+	t.Helper()
+	r, _ := topo.TerminalRouter(src)
+	dstR, dstP := topo.TerminalRouter(dst)
+	class := alg.InitialClass(src, dst)
+	path := []int{r}
+	for {
+		d := alg.NextHop(r, src, dst, class)
+		if r == dstR {
+			if d.OutPort != dstP {
+				t.Fatalf("%s: at destination router %d, out port %d want terminal port %d", alg.Name(), r, d.OutPort, dstP)
+			}
+			return path
+		}
+		link, ok := topo.Neighbor(r, d.OutPort)
+		if !ok {
+			t.Fatalf("%s: router %d emitted dead port %d for %d->%d", alg.Name(), r, d.OutPort, src, dst)
+		}
+		r = link.Router
+		class = d.VCClass
+		path = append(path, r)
+		if len(path) > 4*topo.NumRouters() {
+			t.Fatalf("%s: livelock routing %d->%d", alg.Name(), src, dst)
+		}
+	}
+}
+
+func TestXYAllPairsMinimal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewXY(m)
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			path := walk(t, m, alg, src, dst)
+			if got, want := len(path)-1, m.HopsXY(src, dst); got != want {
+				t.Fatalf("xy %d->%d took %d hops, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestXYOrderXBeforeY(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewXY(m)
+	// 0 -> 63 must go fully east along row 0, then south down column 7.
+	path := walk(t, m, alg, 0, 63)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 15, 23, 31, 39, 47, 55, 63}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestTorusXYAllPairsMinimal(t *testing.T) {
+	m := topology.NewTorus(8, 8)
+	alg := NewTorusXY(m)
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			path := walk(t, m, alg, src, dst)
+			if got, want := len(path)-1, m.HopsXY(src, dst); got != want {
+				t.Fatalf("torus-xy %d->%d took %d hops, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestTorusXYDatelineClass(t *testing.T) {
+	m := topology.NewTorus(8, 8)
+	alg := NewTorusXY(m)
+	// Router 6 -> router 1 goes east through the wrap between x=7 and x=0,
+	// so the class must switch to 1 on the dateline hop.
+	r := 6
+	class := alg.InitialClass(6, 1)
+	if class != 0 {
+		t.Fatalf("initial class %d, want 0", class)
+	}
+	d := alg.NextHop(r, 6, 1, class) // 6 -> 7, no dateline yet
+	if d.VCClass != 0 {
+		t.Fatalf("class after first hop %d, want 0", d.VCClass)
+	}
+	d = alg.NextHop(7, 6, 1, d.VCClass) // 7 -> 0 crosses the dateline
+	if d.VCClass != 1 {
+		t.Fatalf("class on dateline hop %d, want 1", d.VCClass)
+	}
+}
+
+func TestTorusXYClassResetsForY(t *testing.T) {
+	m := topology.NewTorus(8, 8)
+	alg := NewTorusXY(m)
+	// 6 -> 9 (router (1,1)): east across dateline (class 1), then south in
+	// a fresh Y ring (class resets to 0).
+	class := alg.InitialClass(6, 9)
+	r := 6
+	for _, want := range []struct{ router, class int }{{7, 0}, {0, 1}, {1, 1}} {
+		d := alg.NextHop(r, 6, 9, class)
+		link, ok := m.Neighbor(r, d.OutPort)
+		if !ok {
+			t.Fatalf("dead port at %d", r)
+		}
+		if link.Router != want.router {
+			t.Fatalf("hop from %d to %d, want %d", r, link.Router, want.router)
+		}
+		r, class = link.Router, d.VCClass
+	}
+	// Now at router 1 heading to router 9: Y hop in fresh ring.
+	d := alg.NextHop(1, 6, 9, class)
+	if d.VCClass != 0 {
+		t.Fatalf("class entering Y ring = %d, want 0", d.VCClass)
+	}
+}
+
+func TestTorusClassVCs(t *testing.T) {
+	alg := NewTorusXY(topology.NewTorus(4, 4))
+	lo, hi := alg.ClassVCs(0, 3)
+	if lo != 0 || hi != 1 {
+		t.Errorf("class 0 of 3 VCs = [%d,%d), want [0,1)", lo, hi)
+	}
+	lo, hi = alg.ClassVCs(1, 3)
+	if lo != 2 || hi != 3 {
+		t.Errorf("class 1 of 3 VCs = [%d,%d), want [2,3)", lo, hi)
+	}
+	lo, hi = alg.ClassVCs(0, 1)
+	if lo != 0 || hi != 1 {
+		t.Errorf("class 0 of 1 VC = [%d,%d), want [0,1)", lo, hi)
+	}
+}
+
+func TestFBflyTwoHopMax(t *testing.T) {
+	f := topology.NewFBfly(4, 4, 4)
+	alg := NewFBflyRC(f)
+	for src := 0; src < f.NumTerminals(); src++ {
+		for dst := 0; dst < f.NumTerminals(); dst++ {
+			path := walk(t, f, alg, src, dst)
+			if hops := len(path) - 1; hops > 2 {
+				t.Fatalf("fbfly %d->%d took %d router hops, want <=2", src, dst, hops)
+			}
+		}
+	}
+}
+
+func TestCMeshXY(t *testing.T) {
+	m := topology.NewCMesh(4, 4, 4)
+	alg := NewXY(m)
+	for src := 0; src < 64; src += 3 {
+		for dst := 0; dst < 64; dst += 5 {
+			walk(t, m, alg, src, dst)
+		}
+	}
+	// Same-router pair: zero network hops.
+	path := walk(t, m, alg, 0, 1)
+	if len(path) != 1 {
+		t.Errorf("cmesh 0->1 path %v, want single router", path)
+	}
+}
+
+func diagonalBig(m *topology.Mesh) []bool {
+	w, h := m.Dims()
+	big := make([]bool, m.NumRouters())
+	for i := 0; i < w && i < h; i++ {
+		big[m.RouterAt(i, i)] = true
+		big[m.RouterAt(w-1-i, i)] = true
+	}
+	return big
+}
+
+func TestTableXYMinimalAndDelivers(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewTableXY(m, TableXYConfig{Flagged: []int{0, 7, 56, 63}, Big: diagonalBig(m)})
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			path := walk(t, m, alg, src, dst)
+			if got, want := len(path)-1, m.HopsXY(src, dst); got != want {
+				t.Fatalf("table %d->%d took %d hops, want %d (minimal)", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestTableXYZigZagUsesBigRouters(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	big := diagonalBig(m)
+	alg := NewTableXY(m, TableXYConfig{Flagged: []int{0, 7, 56, 63}, Big: big})
+	countBig := func(path []int) int {
+		n := 0
+		for _, r := range path {
+			if big[r] {
+				n++
+			}
+		}
+		return n
+	}
+	// Flow 0 -> 55 (paper's example): the zig-zag path must touch more big
+	// routers than the plain X-Y staircase corner path.
+	xy := NewXY(m)
+	tablePath := alg.PathRouters(0, 55)
+	xyPath := walk(t, m, xy, 0, 55)
+	if countBig(tablePath) <= countBig(xyPath) {
+		t.Errorf("table path %v (big=%d) does not use more big routers than xy %v (big=%d)",
+			tablePath, countBig(tablePath), xyPath, countBig(xyPath))
+	}
+}
+
+func TestTableXYClasses(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewTableXY(m, TableXYConfig{Flagged: []int{0}, Big: diagonalBig(m)})
+	if got := alg.InitialClass(0, 30); got != classTable {
+		t.Errorf("flow from flagged terminal class %d, want table", got)
+	}
+	if got := alg.InitialClass(30, 0); got != classTable {
+		t.Errorf("flow to flagged terminal class %d, want table", got)
+	}
+	if got := alg.InitialClass(30, 31); got != classAnyXY {
+		t.Errorf("background flow class %d, want any-xy", got)
+	}
+	lo, hi := alg.ClassVCs(classEscape, 6)
+	if lo != 0 || hi != 1 {
+		t.Errorf("escape VCs [%d,%d), want [0,1)", lo, hi)
+	}
+	lo, hi = alg.ClassVCs(classTable, 6)
+	if lo != 1 || hi != 6 {
+		t.Errorf("table VCs [%d,%d), want [1,6)", lo, hi)
+	}
+	lo, hi = alg.ClassVCs(classAnyXY, 2)
+	if lo != 0 || hi != 2 {
+		t.Errorf("any-xy VCs [%d,%d), want [0,2)", lo, hi)
+	}
+}
+
+func TestTableXYEscapeHopIsXY(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewTableXY(m, TableXYConfig{Flagged: []int{0}, Big: diagonalBig(m)})
+	xy := NewXY(m)
+	for r := 0; r < 64; r += 7 {
+		for dst := 0; dst < 64; dst += 11 {
+			got := alg.EscapeHop(r, 0, dst)
+			want := xy.NextHop(r, 0, dst, 0)
+			if got.OutPort != want.OutPort {
+				t.Fatalf("escape hop at %d for dst %d = port %d, want xy port %d", r, dst, got.OutPort, want.OutPort)
+			}
+			if got.VCClass != classEscape {
+				t.Fatalf("escape hop class %d, want %d", got.VCClass, classEscape)
+			}
+		}
+	}
+	if alg.EscapeThreshold() <= 0 {
+		t.Error("escape threshold must be positive")
+	}
+}
+
+func TestTableXYPropertyDelivery(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewTableXY(m, TableXYConfig{Flagged: []int{0, 7, 56, 63}, Big: diagonalBig(m)})
+	f := func(a, b uint8) bool {
+		src, dst := int(a)%64, int(b)%64
+		if src == dst {
+			return true
+		}
+		p := alg.PathRouters(src, dst)
+		return p[len(p)-1] == dst // one terminal per router on a plain mesh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWestFirstAllPairsMinimalAndLegal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewWestFirst(m)
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			path := walk(t, m, alg, src, dst)
+			if got, want := len(path)-1, m.HopsXY(src, dst); got != want {
+				t.Fatalf("west-first %d->%d took %d hops, want %d", src, dst, got, want)
+			}
+			// Turn-model legality: once a non-west hop happens, no west hop
+			// may follow.
+			sawNonWest := false
+			for i := 1; i < len(path); i++ {
+				dx := path[i]%8 - path[i-1]%8
+				if dx < 0 && sawNonWest {
+					t.Fatalf("illegal turn into west on path %v", path)
+				}
+				if dx >= 0 {
+					sawNonWest = true
+				}
+			}
+		}
+	}
+}
+
+func TestWestFirstAdaptsToCongestion(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	alg := NewWestFirst(m)
+	// From (0,0) to (2,2): both East and South are productive. Make East
+	// look congested; the router must pick South, and vice versa.
+	alg.Congestion = func(r, p int) float64 {
+		if p == topology.PortEast {
+			return 1
+		}
+		return 0
+	}
+	d := alg.NextHop(0, 0, 18, 0)
+	if d.OutPort != topology.PortSouth {
+		t.Errorf("with East congested, chose port %d, want South", d.OutPort)
+	}
+	alg.Congestion = func(r, p int) float64 {
+		if p == topology.PortSouth {
+			return 1
+		}
+		return 0
+	}
+	d = alg.NextHop(0, 0, 18, 0)
+	if d.OutPort != topology.PortEast {
+		t.Errorf("with South congested, chose port %d, want East", d.OutPort)
+	}
+}
+
+func TestWestFirstRejectsTorus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("torus accepted")
+		}
+	}()
+	NewWestFirst(topology.NewTorus(4, 4))
+}

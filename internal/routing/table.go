@@ -1,0 +1,258 @@
+package routing
+
+import (
+	"container/heap"
+
+	"heteronoc/internal/topology"
+)
+
+// VC class conventions for TableXY (see the package comment): escape
+// packets drain on the reserved VC 0 under X-Y routing; table-routed
+// packets are confined to the non-escape VCs; background X-Y packets may
+// use any VC because dimension-ordered routing cannot deadlock.
+const (
+	classEscape = 0
+	classTable  = 1
+	classAnyXY  = 2
+)
+
+// TableXY implements the asymmetric-CMP routing of Section 7: packets whose
+// source or destination terminal is flagged (attached to a large core)
+// follow precomputed minimal zig-zag paths that maximize the number of big
+// routers visited, while all other packets use plain X-Y. Because the
+// zig-zag paths take turns in both orders they are not deadlock free on
+// their own; a reserved escape VC (VC 0, X-Y routed) provides the
+// deadlock-free drain required by the paper's "reserved escape VCs in the
+// big routers".
+type TableXY struct {
+	topo    *topology.Mesh
+	xy      *XY
+	flagged []bool
+	big     []bool
+	// next[dst][router] is the output port toward terminal dst on the
+	// zig-zag network.
+	next [][]int
+	// escapeAfter is the VC-allocation starvation threshold in cycles.
+	escapeAfter int
+}
+
+// TableXYConfig parameterizes table construction.
+type TableXYConfig struct {
+	// Flagged marks the terminals whose flows are table routed.
+	Flagged []int
+	// Big marks big routers by router ID; links arriving at a big router
+	// are discounted so minimal paths prefer them.
+	Big []bool
+	// EscapeThreshold is the VA starvation limit in cycles before a packet
+	// is diverted to the escape network (default 64).
+	EscapeThreshold int
+}
+
+// NewTableXY builds the routing tables with a Dijkstra pass per destination
+// over minimal-direction edges, where a hop costs less when it lands on a
+// big router. Ties break deterministically by port order, yielding the
+// X-Y-X-Y staircases of the paper's Figure 14(a).
+func NewTableXY(t *topology.Mesh, cfg TableXYConfig) *TableXY {
+	if t.Wrap() {
+		panic("routing: TableXY requires a mesh, not a torus")
+	}
+	ta := &TableXY{
+		topo:        t,
+		xy:          NewXY(t),
+		flagged:     make([]bool, t.NumTerminals()),
+		big:         cfg.Big,
+		escapeAfter: cfg.EscapeThreshold,
+	}
+	if ta.escapeAfter <= 0 {
+		ta.escapeAfter = 64
+	}
+	if ta.big == nil {
+		ta.big = make([]bool, t.NumRouters())
+	}
+	for _, f := range cfg.Flagged {
+		ta.flagged[f] = true
+	}
+	ta.next = make([][]int, t.NumTerminals())
+	for dst := 0; dst < t.NumTerminals(); dst++ {
+		ta.next[dst] = ta.buildDst(dst)
+	}
+	return ta
+}
+
+const (
+	hopCost     = 10
+	bigDiscount = 4 // a hop landing on a big router costs hopCost-bigDiscount
+)
+
+// buildDst runs Dijkstra from the destination router backwards over the
+// reversed minimal-direction graph, producing next[router] = output port.
+// Restricting edges to minimal directions keeps every table path minimal in
+// hops while the cost discount steers paths across big routers.
+func (ta *TableXY) buildDst(dst int) []int {
+	dstR, _ := ta.topo.TerminalRouter(dst)
+	n := ta.topo.NumRouters()
+	dist := make([]int, n)
+	next := make([]int, n)
+	for i := range dist {
+		dist[i] = 1 << 30
+		next[i] = -1
+	}
+	dist[dstR] = 0
+	pq := &intHeap{{0, dstR}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.prio > dist[it.v] {
+			continue
+		}
+		r := it.v
+		// Relax predecessors: routers u with a minimal-direction edge u->r.
+		for p := topology.PortEast; p <= topology.PortSouth; p++ {
+			link, ok := ta.topo.Neighbor(r, p)
+			if !ok {
+				continue
+			}
+			u := link.Router
+			if !ta.minimalToward(u, r, dstR) {
+				continue
+			}
+			c := hopCost
+			if ta.big[r] {
+				c -= bigDiscount
+			}
+			if nd := dist[r] + c; nd < dist[u] {
+				dist[u] = nd
+				// The edge u->r leaves u on the port opposite to p.
+				next[u] = opposite(p)
+				heap.Push(pq, heapItem{nd, u})
+			}
+		}
+	}
+	return next
+}
+
+// minimalToward reports whether moving from router u to adjacent router v
+// reduces the Manhattan distance to dstR.
+func (ta *TableXY) minimalToward(u, v, dstR int) bool {
+	ux, uy := ta.topo.Coord(u)
+	vx, vy := ta.topo.Coord(v)
+	dx, dy := ta.topo.Coord(dstR)
+	return abs(vx-dx)+abs(vy-dy) < abs(ux-dx)+abs(uy-dy)
+}
+
+func opposite(p int) int {
+	switch p {
+	case topology.PortEast:
+		return topology.PortWest
+	case topology.PortWest:
+		return topology.PortEast
+	case topology.PortNorth:
+		return topology.PortSouth
+	case topology.PortSouth:
+		return topology.PortNorth
+	}
+	panic("routing: opposite of non-direction port")
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func (ta *TableXY) Name() string      { return "table+xy" }
+func (ta *TableXY) NumVCClasses() int { return 3 }
+
+func (ta *TableXY) InitialClass(src, dst int) int {
+	if ta.flagged[src] || ta.flagged[dst] {
+		return classTable
+	}
+	return classAnyXY
+}
+
+func (ta *TableXY) ClassVCs(class, numVCs int) (int, int) {
+	switch class {
+	case classEscape:
+		return 0, 1
+	case classTable:
+		if numVCs == 1 {
+			return 0, 1
+		}
+		return 1, numVCs
+	default:
+		return 0, numVCs
+	}
+}
+
+func (ta *TableXY) NextHop(r, src, dst, class int) Decision {
+	if class != classTable {
+		d := ta.xy.NextHop(r, src, dst, 0)
+		d.VCClass = class
+		return d
+	}
+	dstR, dstP := ta.topo.TerminalRouter(dst)
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: classTable}
+	}
+	port := ta.next[dst][r]
+	if port < 0 {
+		// Unreachable via minimal graph (cannot happen on a mesh); fall
+		// back to X-Y to stay safe.
+		d := ta.xy.NextHop(r, src, dst, 0)
+		d.VCClass = classTable
+		return d
+	}
+	return Decision{OutPort: port, VCClass: classTable}
+}
+
+// EscapeHop diverts a starved packet to the X-Y-routed escape VC.
+func (ta *TableXY) EscapeHop(r, src, dst int) Decision {
+	d := ta.xy.NextHop(r, src, dst, 0)
+	d.VCClass = classEscape
+	return d
+}
+
+// EscapeThreshold returns the VA starvation limit in cycles.
+func (ta *TableXY) EscapeThreshold() int { return ta.escapeAfter }
+
+// PathRouters returns the sequence of routers a table-routed packet visits
+// from terminal src to terminal dst, for tests and path diagnostics.
+func (ta *TableXY) PathRouters(src, dst int) []int {
+	r, _ := ta.topo.TerminalRouter(src)
+	dstR, _ := ta.topo.TerminalRouter(dst)
+	path := []int{r}
+	for r != dstR {
+		d := ta.NextHop(r, src, dst, classTable)
+		link, ok := ta.topo.Neighbor(r, d.OutPort)
+		if !ok {
+			break
+		}
+		r = link.Router
+		path = append(path, r)
+		if len(path) > ta.topo.NumRouters() {
+			break // defensive: malformed table
+		}
+	}
+	return path
+}
+
+type heapItem struct {
+	prio int
+	v    int
+}
+
+type intHeap []heapItem
+
+func (h intHeap) Len() int { return len(h) }
+func (h intHeap) Less(i, j int) bool {
+	return h[i].prio < h[j].prio || (h[i].prio == h[j].prio && h[i].v < h[j].v)
+}
+func (h intHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"heteronoc/internal/topology"
+)
+
+// WestFirst is the partially-adaptive west-first turn-model routing
+// (Glass & Ni): all westward hops happen first, after which packets may
+// adaptively choose among east/north/south productive directions. The two
+// prohibited turns (N->W, S->W) break every cycle, so it is deadlock free
+// on any number of VCs without extra classes — which makes it a clean
+// ablation partner for X-Y: the paper claims HeteroNoC's gains come from
+// resource placement, "without changing the routing or the traffic flows";
+// running both algorithms over the same layouts tests that the gains
+// survive an adaptive router too.
+//
+// Adaptivity needs congestion feedback: the simulator passes a Selector
+// view at construction (or the zero Selector for deterministic-first
+// behavior); when several productive ports exist, the one whose recent
+// utilization is lowest wins.
+type WestFirst struct {
+	topo *topology.Mesh
+	// Congestion, when non-nil, scores an output port of a router; lower
+	// is better. The noc package wires its live link occupancy here.
+	Congestion func(router, port int) float64
+}
+
+// NewWestFirst returns west-first routing over a mesh.
+func NewWestFirst(t *topology.Mesh) *WestFirst {
+	if t.Wrap() {
+		panic("routing: WestFirst requires a mesh, not a torus")
+	}
+	return &WestFirst{topo: t}
+}
+
+func (w *WestFirst) Name() string                      { return "west-first" }
+func (w *WestFirst) NumVCClasses() int                 { return 1 }
+func (w *WestFirst) InitialClass(src, dst int) int     { return 0 }
+func (w *WestFirst) ClassVCs(_, numVCs int) (int, int) { return fullRange(numVCs) }
+
+func (w *WestFirst) NextHop(r, src, dst, class int) Decision {
+	dstR, dstP := w.topo.TerminalRouter(dst)
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: class}
+	}
+	cx, cy := w.topo.Coord(r)
+	dx, dy := w.topo.Coord(dstR)
+	// All west hops first: while the destination is west, only West is
+	// permitted (the turn model forbids turning into West later).
+	if dx < cx {
+		return Decision{OutPort: topology.PortWest, VCClass: class}
+	}
+	// Otherwise choose adaptively among the productive E/N/S directions.
+	var cands []int
+	if dx > cx {
+		cands = append(cands, topology.PortEast)
+	}
+	if dy > cy {
+		cands = append(cands, topology.PortSouth)
+	}
+	if dy < cy {
+		cands = append(cands, topology.PortNorth)
+	}
+	if len(cands) == 1 {
+		return Decision{OutPort: cands[0], VCClass: class}
+	}
+	best := cands[0]
+	if w.Congestion != nil {
+		bestScore := w.Congestion(r, best)
+		for _, p := range cands[1:] {
+			if s := w.Congestion(r, p); s < bestScore {
+				best, bestScore = p, s
+			}
+		}
+	}
+	return Decision{OutPort: best, VCClass: class}
+}

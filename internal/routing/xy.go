@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"heteronoc/internal/topology"
+)
+
+// XY is deterministic dimension-ordered routing on a mesh or concentrated
+// mesh: packets fully correct their X offset, then their Y offset. It is
+// deadlock free on any number of VCs (single class).
+type XY struct {
+	topo topology.Grid
+}
+
+// NewXY returns X-Y routing over a (concentrated) mesh grid.
+func NewXY(t topology.Grid) *XY { return &XY{topo: t} }
+
+func (x *XY) Name() string                      { return "xy" }
+func (x *XY) NumVCClasses() int                 { return 1 }
+func (x *XY) InitialClass(src, dst int) int     { return 0 }
+func (x *XY) ClassVCs(_, numVCs int) (int, int) { return fullRange(numVCs) }
+
+func (x *XY) NextHop(r, src, dst, class int) Decision {
+	dstR, dstP := x.topo.TerminalRouter(dst)
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: class}
+	}
+	cx, cy := x.topo.Coord(r)
+	dx, dy := x.topo.Coord(dstR)
+	var port int
+	switch {
+	case cx < dx:
+		port = topology.PortEast
+	case cx > dx:
+		port = topology.PortWest
+	case cy < dy:
+		port = topology.PortSouth
+	default:
+		port = topology.PortNorth
+	}
+	validatePort("xy", r, port)
+	return Decision{OutPort: port, VCClass: class}
+}
+
+// TorusXY is dimension-ordered routing on a torus with shortest-direction
+// selection per ring and dateline VC classes: packets start in class 0 and
+// move to class 1 after crossing the dateline of the dimension they are
+// currently traversing (located between the last and first row/column).
+// Class 0 uses the lower half of the VCs, class 1 the upper half, which
+// breaks the cyclic channel dependency of each ring (Dally & Seitz).
+type TorusXY struct {
+	topo *topology.Mesh
+}
+
+// NewTorusXY returns dateline X-Y routing over a torus.
+func NewTorusXY(t *topology.Mesh) *TorusXY {
+	if !t.Wrap() {
+		panic("routing: TorusXY requires a torus topology")
+	}
+	return &TorusXY{topo: t}
+}
+
+func (t *TorusXY) Name() string                  { return "torus-xy" }
+func (t *TorusXY) NumVCClasses() int             { return 2 }
+func (t *TorusXY) InitialClass(src, dst int) int { return 0 }
+
+func (t *TorusXY) ClassVCs(class, numVCs int) (int, int) {
+	half := numVCs / 2
+	if half == 0 {
+		half = 1 // degenerate single-VC port: both classes share it
+	}
+	if class == 0 {
+		return 0, half
+	}
+	return numVCs - half, numVCs
+}
+
+// dimStep returns the signed step (-1, 0, +1) along one ring of size n from
+// a to b taking the shorter way (ties go positive), and whether that step
+// crosses the dateline between position n-1 and position 0.
+func dimStep(a, b, n int) (step int, crossesDateline bool) {
+	if a == b {
+		return 0, false
+	}
+	fwd := (b - a + n) % n // hops going positive
+	if fwd <= n-fwd {
+		step = 1
+		crossesDateline = a == n-1
+	} else {
+		step = -1
+		crossesDateline = a == 0
+	}
+	return step, crossesDateline
+}
+
+func (t *TorusXY) NextHop(r, src, dst, class int) Decision {
+	dstR, dstP := t.topo.TerminalRouter(dst)
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: class}
+	}
+	w, h := t.topo.Dims()
+	cx, cy := t.topo.Coord(r)
+	dx, dy := t.topo.Coord(dstR)
+	if cx != dx {
+		step, cross := dimStep(cx, dx, w)
+		port := topology.PortEast
+		if step < 0 {
+			port = topology.PortWest
+		}
+		next := class
+		if cross {
+			next = 1
+		}
+		// Entering the X dimension fresh (first hop from source router in
+		// X): class was set to 0 at injection, so nothing to reset.
+		return Decision{OutPort: port, VCClass: next}
+	}
+	// Switching from X to Y traversal resets the dateline class: the Y ring
+	// channels are disjoint from the X ring channels.
+	if cy == t.yEntry(r, src, dstR) && cx == dx {
+		class = t.classAtYEntry(src, dstR)
+	}
+	step, cross := dimStep(cy, dy, h)
+	port := topology.PortSouth
+	if step < 0 {
+		port = topology.PortNorth
+	}
+	next := class
+	if cross {
+		next = 1
+	}
+	return Decision{OutPort: port, VCClass: next}
+}
+
+// yEntry returns the Y coordinate where a packet from src to dstR enters the
+// Y dimension: the source row, since X is corrected first.
+func (t *TorusXY) yEntry(r, src, dstR int) int {
+	srcR, _ := t.topo.TerminalRouter(src)
+	_, sy := t.topo.Coord(srcR)
+	return sy
+}
+
+// classAtYEntry returns the VC class a packet holds when it starts the Y
+// traversal: 0, because the Y ring is entered fresh.
+func (t *TorusXY) classAtYEntry(src, dstR int) int { return 0 }

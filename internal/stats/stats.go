@@ -1,0 +1,175 @@
+// Package stats provides the measurement utilities behind the paper's
+// figures: grid heat maps (Figures 1-2), mean/variance summaries (Figure
+// 13(b)), and percentage-delta helpers used throughout the evaluation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary holds streaming mean/variance statistics (Welford).
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *Summary) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds another summary into this one (Chan et al. parallel
+// variance combination), preserving mean, variance and extrema.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n, s.mean, s.m2 = n, mean, m2
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// CoV returns the coefficient of variation (stddev/mean), the jitter metric
+// of Figure 13(b).
+func (s *Summary) CoV() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return s.StdDev() / s.mean
+}
+
+// PctDelta returns the percentage change from base to v: negative values
+// are reductions. (v=75, base=100) -> -25.
+func PctDelta(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (v - base) / base
+}
+
+// PctReduction returns the percentage reduction from base to v: (v=75,
+// base=100) -> 25, matching the paper's "percentage reduction over
+// baseline" bars.
+func PctReduction(v, base float64) float64 { return -PctDelta(v, base) }
+
+// Heatmap is a W x H grid of values rendered like the paper's utilization
+// figures.
+type Heatmap struct {
+	W, H   int
+	Values []float64 // row-major, index = y*W + x
+	Title  string
+}
+
+// NewHeatmap builds a heat map from per-router values on a grid.
+func NewHeatmap(title string, w, h int, values []float64) *Heatmap {
+	if len(values) != w*h {
+		panic(fmt.Sprintf("stats: %d values for %dx%d heatmap", len(values), w, h))
+	}
+	return &Heatmap{W: w, H: h, Values: values, Title: title}
+}
+
+// Range returns the minimum and maximum values.
+func (h *Heatmap) Range() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range h.Values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// shades orders the ASCII ramp used to render intensity.
+var shades = []rune(" .:-=+*#%@")
+
+// Render draws the heat map as ASCII art with a numeric legend: each cell
+// prints the value (as a percentage with one decimal when values look like
+// fractions) plus a shade character.
+func (h *Heatmap) Render() string {
+	lo, hi := h.Range()
+	span := hi - lo
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min %.1f%%, max %.1f%%]\n", h.Title, 100*lo, 100*hi)
+	for y := 0; y < h.H; y++ {
+		for x := 0; x < h.W; x++ {
+			v := h.Values[y*h.W+x]
+			level := 0
+			if span > 0 {
+				level = int((v - lo) / span * float64(len(shades)-1))
+			}
+			if level >= len(shades) {
+				level = len(shades) - 1
+			}
+			fmt.Fprintf(&b, "%5.1f%c ", 100*v, shades[level])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CenterPeripheryRatio compares the average of the four central cells to
+// the average of the four corner cells — the paper's key observation is
+// that this ratio is well above 1 (hot center, cool periphery).
+func (h *Heatmap) CenterPeripheryRatio() float64 {
+	cx, cy := h.W/2, h.H/2
+	center := (h.at(cx-1, cy-1) + h.at(cx, cy-1) + h.at(cx-1, cy) + h.at(cx, cy)) / 4
+	corners := (h.at(0, 0) + h.at(h.W-1, 0) + h.at(0, h.H-1) + h.at(h.W-1, h.H-1)) / 4
+	if corners == 0 {
+		return math.Inf(1)
+	}
+	return center / corners
+}
+
+func (h *Heatmap) at(x, y int) float64 { return h.Values[y*h.W+x] }

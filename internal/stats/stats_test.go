@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.CoV()-0.4) > 1e-12 {
+		t.Errorf("cov = %v, want 0.4", s.CoV())
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		var s Summary
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			s.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-m2/float64(n)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctHelpers(t *testing.T) {
+	if got := PctDelta(75, 100); got != -25 {
+		t.Errorf("PctDelta(75,100) = %v", got)
+	}
+	if got := PctReduction(75, 100); got != 25 {
+		t.Errorf("PctReduction(75,100) = %v", got)
+	}
+	if got := PctDelta(1, 0); got != 0 {
+		t.Errorf("PctDelta with zero base = %v", got)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i) / 15
+	}
+	h := NewHeatmap("test", 4, 4, vals)
+	out := h.Render()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("render has %d lines, want 5", lines)
+	}
+	lo, hi := h.Range()
+	if lo != 0 || hi != 1 {
+		t.Errorf("range = %v..%v", lo, hi)
+	}
+}
+
+func TestHeatmapCenterPeripheryRatio(t *testing.T) {
+	vals := make([]float64, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			// Hotter in the middle.
+			d := math.Abs(float64(x)-3.5) + math.Abs(float64(y)-3.5)
+			vals[y*8+x] = 1 / (1 + d)
+		}
+	}
+	h := NewHeatmap("center", 8, 8, vals)
+	if r := h.CenterPeripheryRatio(); r <= 1.5 {
+		t.Errorf("center/periphery ratio %v, want > 1.5", r)
+	}
+}
+
+func TestHeatmapPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for mismatched size")
+		}
+	}()
+	NewHeatmap("bad", 4, 4, make([]float64, 5))
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdDev() != 0 || s.CoV() != 0 {
+		t.Error("empty summary must be all zeros")
+	}
+	s.Add(5)
+	if s.Mean() != 5 || s.Var() != 0 || s.Min() != 5 || s.Max() != 5 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i, x := range xs {
+		if i < 3 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(b)
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 || math.Abs(a.Var()-all.Var()) > 1e-12 {
+		t.Errorf("merge mean/var %.6f/%.6f, want %.6f/%.6f", a.Mean(), a.Var(), all.Mean(), all.Var())
+	}
+	if a.Min() != 1 || a.Max() != 8 || a.N() != 8 {
+		t.Errorf("merge extrema wrong: %+v", a)
+	}
+	// Merging into an empty summary copies; merging empty is a no-op.
+	var c Summary
+	c.Merge(all)
+	if c.N() != 8 {
+		t.Error("merge into empty failed")
+	}
+	before := c
+	c.Merge(Summary{})
+	if c != before {
+		t.Error("merging empty changed the summary")
+	}
+}
+
+func TestHeatmapConstantValues(t *testing.T) {
+	h := NewHeatmap("flat", 2, 2, []float64{0.5, 0.5, 0.5, 0.5})
+	out := h.Render() // must not divide by zero
+	if !strings.Contains(out, "50.0") {
+		t.Errorf("flat heatmap render wrong:\n%s", out)
+	}
+	if r := h.CenterPeripheryRatio(); r != 1 {
+		t.Errorf("flat ratio %v, want 1", r)
+	}
+}
+
+func TestHeatmapZeroCorners(t *testing.T) {
+	vals := make([]float64, 16)
+	vals[5], vals[6], vals[9], vals[10] = 1, 1, 1, 1
+	h := NewHeatmap("div0", 4, 4, vals)
+	if r := h.CenterPeripheryRatio(); !math.IsInf(r, 1) {
+		t.Errorf("zero corners ratio %v, want +Inf", r)
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+import "fmt"
+
+// Mesh is a W x H 2D mesh with one terminal per router. Router IDs are
+// row-major: router 0 is the north-west corner, router W-1 the north-east
+// corner. Each router has four network ports (E, W, N, S in that order; edge
+// ports without a neighbor still exist but are unconnected terminals of
+// radix accounting — we instead omit them: edge routers have a smaller
+// radix, with ports renumbered compactly) — to keep port numbering uniform
+// and simple, the mesh keeps all five ports on every router and marks edge
+// ports as absent.
+type Mesh struct {
+	w, h int
+	// wrap turns the mesh into a torus.
+	wrap bool
+	name string
+}
+
+// NewMesh returns a W x H mesh with one terminal per router.
+func NewMesh(w, h int) *Mesh {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("topology: mesh dimensions must be at least 2x2, got %dx%d", w, h))
+	}
+	return &Mesh{w: w, h: h, name: fmt.Sprintf("mesh%dx%d", w, h)}
+}
+
+// NewTorus returns a W x H torus (a mesh with wraparound links) with one
+// terminal per router.
+func NewTorus(w, h int) *Mesh {
+	m := NewMesh(w, h)
+	m.wrap = true
+	m.name = fmt.Sprintf("torus%dx%d", w, h)
+	return m
+}
+
+func (m *Mesh) Name() string      { return m.name }
+func (m *Mesh) NumRouters() int   { return m.w * m.h }
+func (m *Mesh) NumTerminals() int { return m.w * m.h }
+func (m *Mesh) Wrap() bool        { return m.wrap }
+
+// Radix returns 5 for every router: E, W, N, S and the local terminal port.
+// On a mesh (no wrap), edge routers report radix 5 as well; their
+// edge-facing ports are simply never used because Neighbor and PortTerminal
+// both return !ok for them. The simulator skips such dead ports.
+func (m *Mesh) Radix(r int) int { return 5 }
+
+func (m *Mesh) Dims() (int, int) { return m.w, m.h }
+
+func (m *Mesh) Coord(r int) (x, y int) { return r % m.w, r / m.w }
+
+func (m *Mesh) RouterAt(x, y int) int { return y*m.w + x }
+
+// Neighbor resolves the mesh/torus network ports. Opposite directions pair
+// up (an eastbound flit arrives on the neighbor's west port).
+func (m *Mesh) Neighbor(r, p int) (Link, bool) {
+	x, y := m.Coord(r)
+	switch p {
+	case PortEast:
+		if x == m.w-1 {
+			if !m.wrap {
+				return Link{}, false
+			}
+			return Link{m.RouterAt(0, y), PortWest}, true
+		}
+		return Link{m.RouterAt(x+1, y), PortWest}, true
+	case PortWest:
+		if x == 0 {
+			if !m.wrap {
+				return Link{}, false
+			}
+			return Link{m.RouterAt(m.w-1, y), PortEast}, true
+		}
+		return Link{m.RouterAt(x-1, y), PortEast}, true
+	case PortNorth:
+		if y == 0 {
+			if !m.wrap {
+				return Link{}, false
+			}
+			return Link{m.RouterAt(x, m.h-1), PortSouth}, true
+		}
+		return Link{m.RouterAt(x, y-1), PortSouth}, true
+	case PortSouth:
+		if y == m.h-1 {
+			if !m.wrap {
+				return Link{}, false
+			}
+			return Link{m.RouterAt(x, 0), PortNorth}, true
+		}
+		return Link{m.RouterAt(x, y+1), PortNorth}, true
+	}
+	return Link{}, false
+}
+
+func (m *Mesh) TerminalRouter(t int) (int, int) { return t, PortLocal }
+
+func (m *Mesh) PortTerminal(r, p int) (int, bool) {
+	if p == PortLocal {
+		return r, true
+	}
+	return 0, false
+}
+
+// HopsXY returns the hop count between terminals src and dst under
+// dimension-ordered routing (including torus shortest wrap choices).
+func (m *Mesh) HopsXY(src, dst int) int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	return m.dimDist(sx, dx, m.w) + m.dimDist(sy, dy, m.h)
+}
+
+func (m *Mesh) dimDist(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if m.wrap && size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// BisectionLinks returns, for the vertical bisection cut between columns
+// w/2-1 and w/2, the list of (router, outputPort) pairs whose link crosses
+// the cut in the eastward direction. On a torus the wraparound links between
+// column w-1 and column 0 also cross the cut region in standard accounting;
+// they are included. HeteroNoC's constant-bisection constraint is checked
+// against this set.
+func (m *Mesh) BisectionLinks() [][2]int {
+	var out [][2]int
+	cut := m.w / 2
+	for y := 0; y < m.h; y++ {
+		out = append(out, [2]int{m.RouterAt(cut-1, y), PortEast})
+		if m.wrap {
+			out = append(out, [2]int{m.RouterAt(m.w-1, y), PortEast})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package topology defines the network graphs used by the HeteroNoC study:
+// 2D mesh, 2D torus, concentrated mesh, and flattened butterfly.
+//
+// A Topology is a directed multigraph of routers. Every router exposes a
+// fixed set of numbered ports. A port is either a network port, connected to
+// a specific input port of a neighboring router, or a terminal port, attached
+// to exactly one terminal (a core/cache tile network interface). Terminals
+// are numbered independently of routers so that concentrated topologies can
+// attach several terminals to one router.
+package topology
+
+import "fmt"
+
+// Link identifies the far side of a network port: the neighboring router and
+// the input-port index on that router where flits arrive.
+type Link struct {
+	Router int
+	Port   int
+}
+
+// Topology is the static structure of a network.
+type Topology interface {
+	// Name returns a short human-readable identifier such as "mesh8x8".
+	Name() string
+	// NumRouters returns the number of routers.
+	NumRouters() int
+	// NumTerminals returns the number of attached terminals (nodes).
+	NumTerminals() int
+	// Radix returns the total number of ports on router r, including
+	// terminal ports.
+	Radix(r int) int
+	// Neighbor resolves network port p of router r. ok is false when p is a
+	// terminal port.
+	Neighbor(r, p int) (Link, bool)
+	// TerminalRouter returns the router and local port that terminal t is
+	// attached to.
+	TerminalRouter(t int) (router, port int)
+	// PortTerminal reports whether port p of router r is a terminal port and
+	// if so which terminal it serves.
+	PortTerminal(r, p int) (t int, ok bool)
+}
+
+// Grid is implemented by topologies laid out on a 2D grid of routers. The
+// routing packages use it for dimension-ordered decisions, and the HeteroNoC
+// layouts use it to place big routers geometrically.
+type Grid interface {
+	Topology
+	// Dims returns the grid width (columns) and height (rows) in routers.
+	Dims() (w, h int)
+	// Coord returns the (x, y) grid position of router r, with x growing
+	// east and y growing south; router 0 is the north-west corner.
+	Coord(r int) (x, y int)
+	// RouterAt returns the router at grid position (x, y).
+	RouterAt(x, y int) int
+}
+
+// Direction constants for the four mesh/torus network ports. Terminal ports
+// follow the network ports, starting at PortLocal.
+const (
+	PortEast = iota
+	PortWest
+	PortNorth
+	PortSouth
+	PortLocal // first terminal port on mesh/torus routers
+)
+
+// DirName returns a printable name for a mesh/torus port index.
+func DirName(p int) string {
+	switch p {
+	case PortEast:
+		return "E"
+	case PortWest:
+		return "W"
+	case PortNorth:
+		return "N"
+	case PortSouth:
+		return "S"
+	default:
+		return fmt.Sprintf("L%d", p-PortLocal)
+	}
+}
+
+// Validate exhaustively checks the structural invariants of a topology:
+// bidirectional link consistency, terminal attachment consistency, and port
+// classification (every port is exactly one of network or terminal). It is
+// used by tests and by simulator construction as a guard against malformed
+// custom topologies.
+func Validate(t Topology) error {
+	for r := 0; r < t.NumRouters(); r++ {
+		for p := 0; p < t.Radix(r); p++ {
+			link, isNet := t.Neighbor(r, p)
+			term, isTerm := t.PortTerminal(r, p)
+			if isNet && isTerm {
+				return fmt.Errorf("topology %s: router %d port %d is both network and terminal", t.Name(), r, p)
+			}
+			// A port that is neither is a dead edge port (mesh boundary);
+			// the simulator skips those.
+			if isNet {
+				if link.Router < 0 || link.Router >= t.NumRouters() {
+					return fmt.Errorf("topology %s: router %d port %d links to out-of-range router %d", t.Name(), r, p, link.Router)
+				}
+				if link.Port < 0 || link.Port >= t.Radix(link.Router) {
+					return fmt.Errorf("topology %s: router %d port %d links to out-of-range port %d of router %d", t.Name(), r, p, link.Port, link.Router)
+				}
+				// The reverse port must point straight back for the credit
+				// channel to be well defined.
+				back, ok := t.Neighbor(link.Router, link.Port)
+				if !ok || back.Router != r || back.Port != p {
+					return fmt.Errorf("topology %s: link %d.%d -> %d.%d is not symmetric", t.Name(), r, p, link.Router, link.Port)
+				}
+			}
+			if isTerm {
+				tr, tp := t.TerminalRouter(term)
+				if tr != r || tp != p {
+					return fmt.Errorf("topology %s: terminal %d attachment mismatch (%d.%d vs %d.%d)", t.Name(), term, tr, tp, r, p)
+				}
+			}
+		}
+	}
+	seen := make(map[[2]int]int)
+	for term := 0; term < t.NumTerminals(); term++ {
+		r, p := t.TerminalRouter(term)
+		if r < 0 || r >= t.NumRouters() || p < 0 || p >= t.Radix(r) {
+			return fmt.Errorf("topology %s: terminal %d attached out of range (%d.%d)", t.Name(), term, r, p)
+		}
+		if prev, dup := seen[[2]int{r, p}]; dup {
+			return fmt.Errorf("topology %s: terminals %d and %d share port %d.%d", t.Name(), prev, term, r, p)
+		}
+		seen[[2]int{r, p}] = term
+	}
+	return nil
+}

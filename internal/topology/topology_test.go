@@ -1,0 +1,212 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshValidate(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {8, 8}, {3, 5}} {
+		m := NewMesh(dims[0], dims[1])
+		if err := Validate(m); err != nil {
+			t.Errorf("mesh %v: %v", dims, err)
+		}
+	}
+}
+
+func TestTorusValidate(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {8, 8}, {3, 5}} {
+		m := NewTorus(dims[0], dims[1])
+		if err := Validate(m); err != nil {
+			t.Errorf("torus %v: %v", dims, err)
+		}
+	}
+}
+
+func TestCMeshValidate(t *testing.T) {
+	if err := Validate(NewCMesh(4, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(NewCMesh(2, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFBflyValidate(t *testing.T) {
+	if err := Validate(NewFBfly(4, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(NewFBfly(2, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh(8, 8)
+	for r := 0; r < m.NumRouters(); r++ {
+		x, y := m.Coord(r)
+		if got := m.RouterAt(x, y); got != r {
+			t.Fatalf("router %d -> (%d,%d) -> %d", r, x, y, got)
+		}
+	}
+}
+
+func TestMeshNeighborGeometry(t *testing.T) {
+	m := NewMesh(8, 8)
+	// Router 0 is the NW corner: no west, no north.
+	if _, ok := m.Neighbor(0, PortWest); ok {
+		t.Error("NW corner has a west neighbor")
+	}
+	if _, ok := m.Neighbor(0, PortNorth); ok {
+		t.Error("NW corner has a north neighbor")
+	}
+	if l, ok := m.Neighbor(0, PortEast); !ok || l.Router != 1 || l.Port != PortWest {
+		t.Errorf("east of router 0 = %+v, %v", l, ok)
+	}
+	if l, ok := m.Neighbor(0, PortSouth); !ok || l.Router != 8 || l.Port != PortNorth {
+		t.Errorf("south of router 0 = %+v, %v", l, ok)
+	}
+	// Center router has all four.
+	center := m.RouterAt(4, 4)
+	for _, p := range []int{PortEast, PortWest, PortNorth, PortSouth} {
+		if _, ok := m.Neighbor(center, p); !ok {
+			t.Errorf("center router missing port %s", DirName(p))
+		}
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	m := NewTorus(8, 8)
+	if l, ok := m.Neighbor(0, PortWest); !ok || l.Router != 7 {
+		t.Errorf("torus west wrap of router 0 = %+v, %v", l, ok)
+	}
+	if l, ok := m.Neighbor(0, PortNorth); !ok || l.Router != 56 {
+		t.Errorf("torus north wrap of router 0 = %+v, %v", l, ok)
+	}
+}
+
+func TestHopsXY(t *testing.T) {
+	m := NewMesh(8, 8)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{0, 63, 14},
+		{9, 18, 2},
+	}
+	for _, c := range cases {
+		if got := m.HopsXY(c.src, c.dst); got != c.want {
+			t.Errorf("HopsXY(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+	tor := NewTorus(8, 8)
+	if got := tor.HopsXY(0, 63); got != 2 {
+		t.Errorf("torus HopsXY(0,63) = %d, want 2 (wraparound)", got)
+	}
+	if got := tor.HopsXY(0, 7); got != 1 {
+		t.Errorf("torus HopsXY(0,7) = %d, want 1", got)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := NewMesh(8, 8)
+	tor := NewTorus(8, 8)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%64, int(b)%64
+		return m.HopsXY(s, d) == m.HopsXY(d, s) && tor.HopsXY(s, d) == tor.HopsXY(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	m := NewMesh(8, 8)
+	links := m.BisectionLinks()
+	if len(links) != 8 {
+		t.Fatalf("mesh8x8 bisection links = %d, want 8", len(links))
+	}
+	for _, l := range links {
+		x, _ := m.Coord(l[0])
+		if x != 3 {
+			t.Errorf("bisection link from column %d, want 3", x)
+		}
+		if l[1] != PortEast {
+			t.Errorf("bisection link uses port %d, want east", l[1])
+		}
+	}
+	tor := NewTorus(8, 8)
+	if got := len(tor.BisectionLinks()); got != 16 {
+		t.Errorf("torus bisection links = %d, want 16", got)
+	}
+}
+
+func TestCMeshTerminals(t *testing.T) {
+	m := NewCMesh(4, 4, 4)
+	if m.NumTerminals() != 64 {
+		t.Fatalf("cmesh terminals = %d, want 64", m.NumTerminals())
+	}
+	if m.Radix(0) != 8 {
+		t.Fatalf("cmesh radix = %d, want 8", m.Radix(0))
+	}
+	r, p := m.TerminalRouter(13)
+	if r != 3 || p != PortLocal+1 {
+		t.Errorf("terminal 13 at %d.%d, want 3.%d", r, p, PortLocal+1)
+	}
+	term, ok := m.PortTerminal(3, PortLocal+1)
+	if !ok || term != 13 {
+		t.Errorf("port terminal = %d,%v want 13", term, ok)
+	}
+}
+
+func TestFBflyConnectivity(t *testing.T) {
+	f := NewFBfly(4, 4, 4)
+	if f.Radix(0) != 10 {
+		t.Fatalf("fbfly radix = %d, want 10", f.Radix(0))
+	}
+	if f.NumTerminals() != 64 {
+		t.Fatalf("fbfly terminals = %d, want 64", f.NumTerminals())
+	}
+	// Every router must reach every other router in its row and column in
+	// one hop, and the row/col port helpers must agree with Neighbor.
+	for r := 0; r < f.NumRouters(); r++ {
+		x, y := f.Coord(r)
+		for dx := 0; dx < 4; dx++ {
+			if dx == x {
+				continue
+			}
+			p := f.RowPort(r, dx)
+			l, ok := f.Neighbor(r, p)
+			if !ok || l.Router != f.RouterAt(dx, y) {
+				t.Fatalf("router %d row port to col %d reaches %+v", r, dx, l)
+			}
+		}
+		for dy := 0; dy < 4; dy++ {
+			if dy == y {
+				continue
+			}
+			p := f.ColPort(r, dy)
+			l, ok := f.Neighbor(r, p)
+			if !ok || l.Router != f.RouterAt(x, dy) {
+				t.Fatalf("router %d col port to row %d reaches %+v", r, dy, l)
+			}
+		}
+	}
+}
+
+func TestMeshPanicsOnTinyDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMesh(1,1) did not panic")
+		}
+	}()
+	NewMesh(1, 1)
+}
+
+func TestDirName(t *testing.T) {
+	if DirName(PortEast) != "E" || DirName(PortWest) != "W" || DirName(PortNorth) != "N" || DirName(PortSouth) != "S" {
+		t.Error("direction names wrong")
+	}
+	if DirName(PortLocal) != "L0" || DirName(PortLocal+2) != "L2" {
+		t.Error("local port names wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	entries := []Entry{
+		{Gap: 0, Addr: 0x1000, Write: false},
+		{Gap: 7, Addr: 0x1080, Write: true},
+		{Gap: 3, Addr: 0x40, Write: false}, // backwards delta
+		{Gap: 1 << 18, Addr: 1 << 44, Write: true},
+	}
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(entries)) {
+		t.Errorf("count %d", w.Count())
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range entries {
+		if got := r.Next(); got != want {
+			t.Fatalf("entry %d: %+v, want %+v", i, got, want)
+		}
+	}
+	if r.Exhausted() {
+		t.Error("exhausted before reading past the end")
+	}
+	// Past EOF: idle entries at the final address.
+	e := r.Next()
+	if !r.Exhausted() || e.Gap != 1<<20 || e.Addr != entries[len(entries)-1].Addr {
+		t.Errorf("post-EOF entry %+v", e)
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := NewFileReader(bytes.NewReader([]byte("HNTR\x09\x00\x00\x00"))); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := NewFileReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRecordSyntheticAndReplay(t *testing.T) {
+	p, err := ProfileByName("SPECjbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, NewGenerator(p, 3, 128), 5000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replay must be identical to a fresh generator.
+	g := NewGenerator(p, 3, 128)
+	for i := 0; i < 5000; i++ {
+		if got, want := r.Next(), g.Next(); got != want {
+			t.Fatalf("entry %d: %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, deltas []int32, writes []bool) bool {
+		n := len(gaps)
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		if n == 0 {
+			return true
+		}
+		addr := uint64(1 << 30)
+		entries := make([]Entry, n)
+		for i := 0; i < n; i++ {
+			addr = uint64(int64(addr) + int64(deltas[i]))
+			entries[i] = Entry{Gap: int(gaps[i]), Addr: addr, Write: writes[i]}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if w.Write(e) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range entries {
+			if r.Next() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

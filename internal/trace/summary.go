@@ -1,0 +1,83 @@
+package trace
+
+// TraceStats summarizes a trace stream for inspection tooling and for
+// validating that synthetic profiles hit their targets.
+type TraceStats struct {
+	Entries       int64
+	GapSum        int64
+	Writes        int64
+	DistinctLines int64
+	LocalityHits  int64 // entries on the same or next line as their predecessor
+}
+
+// Instructions returns the total instruction count (gaps + memory ops).
+func (s TraceStats) Instructions() int64 { return s.GapSum + s.Entries }
+
+// MemFrac returns the fraction of instructions that are memory operations.
+func (s TraceStats) MemFrac() float64 {
+	if s.Instructions() == 0 {
+		return 0
+	}
+	return float64(s.Entries) / float64(s.Instructions())
+}
+
+// WriteFrac returns the store fraction of memory operations.
+func (s TraceStats) WriteFrac() float64 {
+	if s.Entries == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Entries)
+}
+
+// MeanGap returns the average non-memory run length.
+func (s TraceStats) MeanGap() float64 {
+	if s.Entries == 0 {
+		return 0
+	}
+	return float64(s.GapSum) / float64(s.Entries)
+}
+
+// LocalityFrac returns the same-or-next-line fraction.
+func (s TraceStats) LocalityFrac() float64 {
+	if s.Entries == 0 {
+		return 0
+	}
+	return float64(s.LocalityHits) / float64(s.Entries)
+}
+
+// Summarize consumes up to n entries (or, for a FileReader, until the file
+// ends when n == 0) and aggregates statistics. Line granularity is 128
+// bytes, matching the system configuration.
+func Summarize(r Reader, n int) TraceStats {
+	var st TraceStats
+	seen := make(map[uint64]struct{})
+	var last uint64
+	fr, isFile := r.(*FileReader)
+	for i := 0; ; i++ {
+		if n > 0 && i >= n {
+			break
+		}
+		e := r.Next()
+		if isFile && fr.Exhausted() {
+			break
+		}
+		if !isFile && n == 0 {
+			break // unbounded summarize only makes sense for files
+		}
+		st.Entries++
+		st.GapSum += int64(e.Gap)
+		if e.Write {
+			st.Writes++
+		}
+		line := e.Addr / 128
+		if _, ok := seen[line]; !ok {
+			seen[line] = struct{}{}
+			st.DistinctLines++
+		}
+		if st.Entries > 1 && (line == last || line == last+1) {
+			st.LocalityHits++
+		}
+		last = line
+	}
+	return st
+}

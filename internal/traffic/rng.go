@@ -1,0 +1,12 @@
+package traffic
+
+import "math/rand"
+
+// newRNG returns a deterministic source for a given seed so every
+// experiment is reproducible run to run.
+func newRNG(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 42
+	}
+	return rand.New(rand.NewSource(seed))
+}

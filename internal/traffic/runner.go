@@ -1,0 +1,156 @@
+package traffic
+
+import (
+	"fmt"
+
+	"heteronoc/internal/noc"
+)
+
+// RunConfig controls one measured simulation, mirroring the paper's
+// methodology: warm the network with WarmupPackets, then measure
+// MeasurePackets (the paper uses 1,000 and 100,000).
+type RunConfig struct {
+	Pattern        Pattern
+	Process        Process
+	DataFlits      int // flits per injected packet
+	WarmupPackets  int
+	MeasurePackets int
+	Seed           int64
+	// MaxCycles aborts runs that cannot deliver the measurement quota
+	// (deeply saturated networks); the statistics gathered so far are
+	// returned. Zero means 200k cycles.
+	MaxCycles int64
+}
+
+// RunResult summarizes one measured simulation.
+type RunResult struct {
+	Cycles          int64
+	AvgLatency      float64 // cycles
+	QueuingLatency  float64
+	BlockingLatency float64
+	TransferLatency float64
+	AvgHops         float64
+	// AcceptedRate is the delivered throughput in packets/node/cycle.
+	AcceptedRate float64
+	// OfferedRate is the configured injection rate in packets/node/cycle.
+	OfferedRate float64
+	CombineRate float64
+	Saturated   bool
+	Activity    []noc.RouterActivity
+	// Latency percentiles in cycles (tail behavior; the jitter story of
+	// Section 6 shows up here too).
+	P50, P95, P99 float64
+}
+
+// Run drives net with the configured traffic until the measurement quota is
+// met, then drains in-flight measured packets.
+func Run(net *noc.Network, cfg RunConfig) (RunResult, error) {
+	if cfg.DataFlits <= 0 {
+		return RunResult{}, fmt.Errorf("traffic: DataFlits must be positive")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200000
+	}
+	rng := newRNG(cfg.Seed)
+	terms := numTerminals(cfg.Pattern)
+	if terms == 0 {
+		terms = 64
+	}
+	inject := func() {
+		for t := 0; t < terms; t++ {
+			if cfg.Process.Fire(t, net.Cycle(), rng) {
+				dst := cfg.Pattern.Dst(t, rng)
+				net.Inject(&noc.Packet{Src: t, Dst: dst, NumFlits: cfg.DataFlits})
+			}
+		}
+	}
+	// Warmup phase.
+	start := net.Cycle()
+	for net.Stats().PacketsInjected < int64(cfg.WarmupPackets) && net.Cycle()-start < cfg.MaxCycles {
+		inject()
+		if err := net.Step(); err != nil {
+			return RunResult{}, err
+		}
+	}
+	net.ResetStats()
+	// Measurement phase: keep offering load until the quota of measured
+	// packets has been received or the cycle budget runs out.
+	start = net.Cycle()
+	for net.Stats().PacketsReceived < int64(cfg.MeasurePackets) && net.Cycle()-start < cfg.MaxCycles {
+		inject()
+		if err := net.Step(); err != nil {
+			return RunResult{}, err
+		}
+	}
+	s := net.Stats()
+	res := RunResult{
+		Cycles:      s.Cycles,
+		AvgLatency:  s.AvgLatency(),
+		AvgHops:     s.AvgHops(),
+		OfferedRate: cfg.Process.Rate(),
+		CombineRate: net.CombineRate(),
+		Activity:    net.Activity(),
+	}
+	res.QueuingLatency, res.BlockingLatency, res.TransferLatency = s.Breakdown()
+	res.P50, res.P95, res.P99 = s.Percentile(0.50), s.Percentile(0.95), s.Percentile(0.99)
+	if s.Cycles > 0 {
+		res.AcceptedRate = float64(s.PacketsReceived) / float64(s.Cycles) / float64(terms)
+	}
+	res.Saturated = s.PacketsReceived < int64(cfg.MeasurePackets) ||
+		(res.OfferedRate > 0 && res.AcceptedRate < 0.85*res.OfferedRate)
+	return res, nil
+}
+
+// numTerminals extracts the terminal count from the known pattern types.
+func numTerminals(p Pattern) int {
+	switch v := p.(type) {
+	case UniformRandom:
+		return v.N
+	case BitComplement:
+		return v.N
+	case NearestNeighbor:
+		return v.Grid.NumTerminals()
+	case Transpose:
+		return v.Grid.NumTerminals()
+	}
+	return 0
+}
+
+// Sweep runs a load sweep over injection rates and returns one result per
+// rate. buildNet must return a fresh network for each point.
+type SweepPoint struct {
+	Rate   float64
+	Result RunResult
+}
+
+// Sweep measures the network across the given injection rates. selfSimilar
+// selects the Pareto on/off process instead of Bernoulli.
+func Sweep(buildNet func() (*noc.Network, error), pattern func(n *noc.Network) Pattern,
+	rates []float64, dataFlits, warmup, measure int, selfSimilar bool, seed int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, r := range rates {
+		net, err := buildNet()
+		if err != nil {
+			return nil, err
+		}
+		var proc Process
+		if selfSimilar {
+			proc = NewSelfSimilar(net.Config().Topo.NumTerminals(), r)
+		} else {
+			proc = Bernoulli{P: r}
+		}
+		res, err := Run(net, RunConfig{
+			Pattern:        pattern(net),
+			Process:        proc,
+			DataFlits:      dataFlits,
+			WarmupPackets:  warmup,
+			MeasurePackets: measure,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Rate: r, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+// Package traffic provides the synthetic workloads of the paper's
+// network-only evaluation: destination patterns (uniform random, nearest
+// neighbor, transpose, bit complement) combined with injection processes
+// (Bernoulli, self-similar Pareto on/off), plus a load-sweep runner with
+// warmup/measurement phases matching the paper's methodology.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heteronoc/internal/topology"
+)
+
+// Pattern maps a source terminal to a destination terminal.
+type Pattern interface {
+	Name() string
+	// Dst picks the destination of a packet injected at src. It must not
+	// return src unless the network has a single terminal.
+	Dst(src int, rng *rand.Rand) int
+}
+
+// UniformRandom sends each packet to a terminal chosen uniformly among all
+// other terminals.
+type UniformRandom struct{ N int }
+
+func (u UniformRandom) Name() string { return "uniform-random" }
+
+func (u UniformRandom) Dst(src int, rng *rand.Rand) int {
+	d := rng.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// NearestNeighbor sends each packet to one of the source's grid neighbors,
+// chosen uniformly.
+type NearestNeighbor struct{ Grid topology.Grid }
+
+func (n NearestNeighbor) Name() string { return "nearest-neighbor" }
+
+func (n NearestNeighbor) Dst(src int, rng *rand.Rand) int {
+	r, _ := n.Grid.TerminalRouter(src)
+	x, y := n.Grid.Coord(r)
+	w, h := n.Grid.Dims()
+	var cands []int
+	for _, d := range [][2]int{{x + 1, y}, {x - 1, y}, {x, y + 1}, {x, y - 1}} {
+		if d[0] >= 0 && d[0] < w && d[1] >= 0 && d[1] < h {
+			cands = append(cands, n.Grid.RouterAt(d[0], d[1]))
+		}
+	}
+	nr := cands[rng.Intn(len(cands))]
+	// One terminal per router on the plain mesh used for NN experiments.
+	return nr
+}
+
+// Transpose sends (x, y) to (y, x) on a square grid; diagonal nodes fall
+// back to uniform random so they still contribute load.
+type Transpose struct{ Grid topology.Grid }
+
+func (t Transpose) Name() string { return "transpose" }
+
+func (t Transpose) Dst(src int, rng *rand.Rand) int {
+	r, _ := t.Grid.TerminalRouter(src)
+	x, y := t.Grid.Coord(r)
+	if x == y {
+		return UniformRandom{N: t.Grid.NumTerminals()}.Dst(src, rng)
+	}
+	return t.Grid.RouterAt(y, x)
+}
+
+// BitComplement sends terminal i to terminal (N-1)-i.
+type BitComplement struct{ N int }
+
+func (b BitComplement) Name() string { return "bit-complement" }
+
+func (b BitComplement) Dst(src int, rng *rand.Rand) int {
+	d := b.N - 1 - src
+	if d == src {
+		return UniformRandom{N: b.N}.Dst(src, rng)
+	}
+	return d
+}
+
+// Process decides when a terminal injects.
+type Process interface {
+	Name() string
+	// Fire reports whether terminal t injects a packet this cycle.
+	Fire(t int, cycle int64, rng *rand.Rand) bool
+	// Rate returns the mean offered load in packets/node/cycle.
+	Rate() float64
+}
+
+// Bernoulli injects independently each cycle with fixed probability.
+type Bernoulli struct{ P float64 }
+
+func (b Bernoulli) Name() string  { return fmt.Sprintf("bernoulli(%.4g)", b.P) }
+func (b Bernoulli) Rate() float64 { return b.P }
+
+func (b Bernoulli) Fire(t int, cycle int64, rng *rand.Rand) bool {
+	return rng.Float64() < b.P
+}
+
+// SelfSimilar is a Pareto on/off source per terminal: during ON periods the
+// terminal injects with PeakP per cycle, OFF periods are silent, and both
+// period lengths are Pareto distributed with shape AlphaOn/AlphaOff, which
+// produces the long-range-dependent burstiness of the paper's self-similar
+// pattern.
+type SelfSimilar struct {
+	PeakP    float64
+	AlphaOn  float64
+	AlphaOff float64
+	MeanOn   float64
+	MeanOff  float64
+
+	state []ssState
+}
+
+type ssState struct {
+	on   bool
+	left int
+}
+
+// NewSelfSimilar builds a self-similar process with mean load rate
+// (packets/node/cycle) for n terminals. The ON-period peak rate is twice
+// the mean; OFF periods are sized to make the time-average match.
+func NewSelfSimilar(n int, rate float64) *SelfSimilar {
+	s := &SelfSimilar{
+		PeakP:    math.Min(2*rate, 0.9),
+		AlphaOn:  1.9,
+		AlphaOff: 1.25,
+		MeanOn:   30,
+	}
+	// duty cycle = MeanOn/(MeanOn+MeanOff) must equal rate/PeakP.
+	duty := rate / s.PeakP
+	s.MeanOff = s.MeanOn * (1 - duty) / duty
+	s.state = make([]ssState, n)
+	return s
+}
+
+func (s *SelfSimilar) Name() string  { return "self-similar" }
+func (s *SelfSimilar) Rate() float64 { return s.PeakP * s.MeanOn / (s.MeanOn + s.MeanOff) }
+
+// pareto samples a Pareto variate with the given shape and mean.
+func pareto(rng *rand.Rand, alpha, mean float64) int {
+	// Pareto with shape a, scale xm has mean a*xm/(a-1).
+	xm := mean * (alpha - 1) / alpha
+	v := xm / math.Pow(rng.Float64(), 1/alpha)
+	n := int(v + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 100000 {
+		n = 100000 // clip pathological tails so tests terminate
+	}
+	return n
+}
+
+func (s *SelfSimilar) Fire(t int, cycle int64, rng *rand.Rand) bool {
+	st := &s.state[t]
+	for st.left == 0 {
+		st.on = !st.on
+		if st.on {
+			st.left = pareto(rng, s.AlphaOn, s.MeanOn)
+		} else {
+			st.left = pareto(rng, s.AlphaOff, s.MeanOff)
+		}
+	}
+	st.left--
+	return st.on && rng.Float64() < s.PeakP
+}
+
+// Hotspot sends a fraction of traffic to a single hot node and the rest
+// uniformly — the classic stress pattern for centralized resources
+// (memory controllers, directories).
+type Hotspot struct {
+	N int
+	// Hot is the hot terminal.
+	Hot int
+	// Frac is the probability a packet targets the hot terminal.
+	Frac float64
+}
+
+func (h Hotspot) Name() string { return "hotspot" }
+
+func (h Hotspot) Dst(src int, rng *rand.Rand) int {
+	if src != h.Hot && rng.Float64() < h.Frac {
+		return h.Hot
+	}
+	return UniformRandom{N: h.N}.Dst(src, rng)
+}
