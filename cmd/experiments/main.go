@@ -4,6 +4,7 @@
 //
 //	experiments [-exp all|fig1|fig2|table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|dse]
 //	            [-scale quick|full] [-out results.md]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Each experiment prints a markdown report with the regenerated data and
 // the headline metrics compared in EXPERIMENTS.md.
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"heteronoc/internal/experiments"
+	"heteronoc/internal/prof"
 )
 
 func main() {
@@ -28,7 +30,16 @@ func main() {
 	figdir := flag.String("figdir", "", "also write each experiment's SVG figures into this directory")
 	jsonOut := flag.String("jsonout", "", "also write all metrics as JSON to this file")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("paper experiments:")

@@ -7,6 +7,7 @@
 //	       [-pattern ur|nn|transpose|bitcomp] [-rate 0.02] [-selfsimilar]
 //	       [-torus] [-warmup 1000] [-packets 100000] [-seed 42]
 //	       [-sweep lo:hi:step] [-csv]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -sweep, the single measurement is replaced by a load sweep and one
 // result line per injection rate; -csv emits machine-readable output.
@@ -19,6 +20,7 @@ import (
 
 	"heteronoc/internal/core"
 	"heteronoc/internal/power"
+	"heteronoc/internal/prof"
 	"heteronoc/internal/stats"
 	"heteronoc/internal/traffic"
 )
@@ -41,7 +43,16 @@ func main() {
 	sweep := flag.String("sweep", "", "sweep injection rates lo:hi:step instead of a single -rate run")
 	csvOut := flag.Bool("csv", false, "emit CSV (rate,latency_cycles,latency_ns,accepted,saturated,power_w,combine)")
 	show := flag.Bool("show", false, "print the router placement map before running")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err2 := prof.Start(*cpuProfile, *memProfile)
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, err2)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	var l core.Layout
 	var err error

@@ -52,6 +52,10 @@ type System struct {
 	Net   *noc.Network
 	Tiles []*Tile
 	MCs   map[int]*mem.Controller
+	// mcOrder fixes the controller visit order (map iteration order is
+	// randomized per run; ticking controllers in it would make same-cycle
+	// memory responses inject in a run-dependent order).
+	mcOrder []int
 
 	now      int64
 	netAccum float64
@@ -156,7 +160,10 @@ func New(cfg Config) (*System, error) {
 
 	homeFor := func(line uint64) int { return int(line % uint64(n)) }
 	for _, t := range cfg.MCTiles {
-		s.MCs[t] = mem.NewController(t)
+		if s.MCs[t] == nil {
+			s.MCs[t] = mem.NewController(t)
+			s.mcOrder = append(s.mcOrder, t)
+		}
 	}
 	mcTiles := cfg.MCTiles
 	mcFor := func(line uint64) int {
@@ -361,8 +368,10 @@ func (s *System) ResetStats() {
 func (s *System) Step() error {
 	s.now++
 	s.flush()
-	// Memory controllers.
-	for t, mc := range s.MCs {
+	// Memory controllers, in fixed order so same-cycle responses always
+	// inject identically (determinism gate).
+	for _, t := range s.mcOrder {
+		mc := s.MCs[t]
 		for _, r := range mc.Tick(s.now) {
 			if r.Write {
 				continue

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"heteronoc/internal/core"
+	"heteronoc/internal/par"
 	"heteronoc/internal/traffic"
 )
 
@@ -124,21 +125,22 @@ type EvalConfig struct {
 	Seed          int64
 }
 
-// Explore scores placements and returns them sorted best first.
+// Explore scores placements and returns them sorted best first. The
+// enumeration order is deterministic, so the candidate list is fixed before
+// any simulation runs; the probe simulations are then independent
+// (fixed-seed, one network each) and fan out on the par worker pool without
+// affecting any score.
 func Explore(cfg EvalConfig) ([]Candidate, error) {
-	var out []Candidate
-	var firstErr error
+	var sets [][]int
 	Enumerate(cfg.W, cfg.H, cfg.BigCount, cfg.ReduceSymmetry, func(big []int) bool {
-		c, err := Evaluate(cfg, big)
-		if err != nil {
-			firstErr = err
-			return false
-		}
-		out = append(out, c)
-		return cfg.MaxCandidates == 0 || len(out) < cfg.MaxCandidates
+		sets = append(sets, big)
+		return cfg.MaxCandidates == 0 || len(sets) < cfg.MaxCandidates
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	out, err := par.Map(len(sets), func(i int) (Candidate, error) {
+		return Evaluate(cfg, sets[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Saturated != out[j].Saturated {

@@ -1,13 +1,11 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/cmp/coherence"
 	"heteronoc/internal/core"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/par"
 	"heteronoc/internal/plot"
 	"heteronoc/internal/power"
 	"heteronoc/internal/routing"
@@ -305,32 +303,7 @@ func appStudy(sc Scale) (*Report, *Report, error) {
 // own System with fixed seeds, so parallelism cannot change any result)
 // and returns results in job order.
 func runAll(jobs []func() (appResult, error)) ([]appResult, error) {
-	results := make([]appResult, len(jobs))
-	errs := make([]error, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = jobs[i]()
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return par.Map(len(jobs), func(i int) (appResult, error) {
+		return jobs[i]()
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"heteronoc/internal/cmp/mem"
 	"heteronoc/internal/core"
 	"heteronoc/internal/dse"
+	"heteronoc/internal/par"
 	"heteronoc/internal/plot"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/stats"
@@ -204,9 +205,15 @@ func Fig14(sc Scale) (*Report, error) {
 		{"HeteroNoC-Table+XY", core.NewLayout(core.PlacementDiagonal, 8, 8, true), true},
 	}
 	type speedups struct{ weighted, harmonic float64 }
-	var outs []speedups
-	r.Printf("| config | weighted speedup | harmonic speedup |\n|---|---|---|\n")
-	for _, c := range configs {
+	isLarge := func(t int) bool { return t == 0 || t == 7 || t == 56 || t == 63 }
+	small := func(t int) bool { return !isLarge(t) }
+	// Each config needs three independent runs (libquantum alone, SPECjbb
+	// alone, together); the 3x3 grid is one flat batch on the worker pool.
+	// Each job builds its own System — and its own routing table, since an
+	// Algorithm must not be shared across concurrently stepping networks.
+	actives := []func(int) bool{isLarge, small, func(int) bool { return true }}
+	systems, err := par.Map(len(configs)*len(actives), func(k int) (*cmp.System, error) {
+		c := configs[k/len(actives)]
 		var alg routing.Algorithm
 		if c.table {
 			alg = routing.NewTableXY(c.layout.Mesh, routing.TableXYConfig{
@@ -214,36 +221,28 @@ func Fig14(sc Scale) (*Report, error) {
 				Big:     c.layout.BigSet(),
 			})
 		}
-		run := func(active func(int) bool) (*cmp.System, error) {
-			trs, cores, err := asymTraces(largeTiles, active)
-			if err != nil {
-				return nil, err
-			}
-			s, err := cmp.New(cmp.Config{Layout: c.layout, Traces: trs, Cores: cores, Routing: alg})
-			if err != nil {
-				return nil, err
-			}
-			s.Warmup(sc.CMPWarmupEntries)
-			if err := s.Run(sc.CMPCycles); err != nil {
-				return nil, err
-			}
-			return s, nil
-		}
-		isLarge := func(t int) bool { return t == 0 || t == 7 || t == 56 || t == 63 }
-		aloneLibq, err := run(isLarge)
+		trs, cores, err := asymTraces(largeTiles, actives[k%len(actives)])
 		if err != nil {
 			return nil, err
 		}
-		aloneJbb, err := run(func(t int) bool { return !isLarge(t) })
+		s, err := cmp.New(cmp.Config{Layout: c.layout, Traces: trs, Cores: cores, Routing: alg})
 		if err != nil {
 			return nil, err
 		}
-		together, err := run(func(int) bool { return true })
-		if err != nil {
+		s.Warmup(sc.CMPWarmupEntries)
+		if err := s.Run(sc.CMPCycles); err != nil {
 			return nil, err
 		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var outs []speedups
+	r.Printf("| config | weighted speedup | harmonic speedup |\n|---|---|---|\n")
+	for ci, c := range configs {
+		aloneLibq, aloneJbb, together := systems[ci*3], systems[ci*3+1], systems[ci*3+2]
 		libqRatio := avgIPCOf(together, isLarge) / avgIPCOf(aloneLibq, isLarge)
-		small := func(t int) bool { return !isLarge(t) }
 		jbbRatio := avgIPCOf(together, small) / avgIPCOf(aloneJbb, small)
 		// Harmonic speedup uses the slowest SPECjbb thread (Section 7).
 		jbbSlowest := minIPCOf(together, small) / minIPCOf(aloneJbb, small)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"heteronoc/internal/core"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/par"
 	"heteronoc/internal/plot"
 	"heteronoc/internal/power"
 	"heteronoc/internal/routing"
@@ -177,17 +178,31 @@ type netSummary struct {
 	breakdown traffic.RunResult
 }
 
-// sweepLayout measures one layout across the rates.
-func sweepLayout(l core.Layout, pattern func() traffic.Pattern, rates []float64, sc Scale, selfSimilar bool) (netSummary, error) {
+// ratePoint is one measured operating point of a sweep: the run result and
+// its power-model price.
+type ratePoint struct {
+	res traffic.RunResult
+	pow float64
+}
+
+// measurePoint runs one (layout, rate) probe. Probes are independent (each
+// builds its own network and a fixed-seed traffic source), so the sweeps
+// fan them out on the par worker pool without changing any result.
+func measurePoint(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (ratePoint, error) {
+	res, err := runNet(l, pattern, rate, sc, selfSimilar)
+	if err != nil {
+		return ratePoint{}, err
+	}
+	return ratePoint{res: res, pow: power.Network(power.NewModel(), l, res.Activity).Total()}, nil
+}
+
+// summarizeSweep folds one layout's measured points (in rate order) into a
+// netSummary.
+func summarizeSweep(l core.Layout, rates []float64, pts []ratePoint) netSummary {
 	s := netSummary{layout: l}
-	pm := power.NewModel()
-	for _, rate := range rates {
-		res, err := runNet(l, pattern(), rate, sc, selfSimilar)
-		if err != nil {
-			return s, err
-		}
-		s.points = append(s.points, traffic.SweepPoint{Rate: rate, Result: res})
-		s.powers = append(s.powers, power.Network(pm, l, res.Activity).Total())
+	for i, rate := range rates {
+		s.points = append(s.points, traffic.SweepPoint{Rate: rate, Result: pts[i].res})
+		s.powers = append(s.powers, pts[i].pow)
 	}
 	f := l.FreqGHz()
 	s.zeroLoad = s.points[0].Result.AvgLatency / f
@@ -207,7 +222,7 @@ func sweepLayout(l core.Layout, pattern func() traffic.Pattern, rates []float64,
 	if latN > 0 {
 		s.avgLatNS = latSum / float64(latN)
 	}
-	return s, nil
+	return s
 }
 
 // Fig7 sweeps uniform random traffic across the seven configurations.
@@ -229,18 +244,24 @@ func loadSweepReport(sc Scale, id, title string, nn bool) (*Report, error) {
 	}
 	rates := sweepRates(sc, maxRate)
 	layouts := core.AllLayouts(8, 8)
-	var sums []netSummary
-	for _, l := range layouts {
-		pattern := func() traffic.Pattern { return traffic.Pattern(traffic.UniformRandom{N: 64}) }
+	// The full layouts x rates grid is one flat batch of independent probes;
+	// fanning the whole grid out (rather than layout by layout) keeps every
+	// worker busy even when one layout saturates and runs long.
+	nr := len(rates)
+	pts, err := par.Map(len(layouts)*nr, func(k int) (ratePoint, error) {
+		l := layouts[k/nr]
+		var pattern traffic.Pattern = traffic.UniformRandom{N: 64}
 		if nn {
-			mesh := l.Mesh
-			pattern = func() traffic.Pattern { return traffic.NearestNeighbor{Grid: mesh} }
+			pattern = traffic.NearestNeighbor{Grid: l.Mesh}
 		}
-		s, err := sweepLayout(l, pattern, rates, sc, false)
-		if err != nil {
-			return nil, err
-		}
-		sums = append(sums, s)
+		return measurePoint(l, pattern, rates[k%nr], sc, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]netSummary, len(layouts))
+	for li, l := range layouts {
+		sums[li] = summarizeSweep(l, rates, pts[li*nr:(li+1)*nr])
 	}
 	base := sums[0]
 	// Average latency is compared over a common set of rates: the points
@@ -395,15 +416,19 @@ func Fig8(sc Scale) (*Report, error) {
 		core.NewLayout(core.PlacementRow25, 8, 8, true),
 	}
 	pm := power.NewModel()
+	// The four layout probes are independent; fan them out.
+	ress, err := par.Map(len(layouts), func(i int) (traffic.RunResult, error) {
+		return runNet(layouts[i], traffic.UniformRandom{N: 64}, rate, sc, false)
+	})
+	if err != nil {
+		return nil, err
+	}
 	r.Printf("### (a) Latency breakdown (cycles)\n\n| config | queuing | blocking | transfer | total |\n|---|---|---|---|---|\n")
 	var basePow power.Breakdown
 	var pows []power.Breakdown
 	var breakdowns [][]float64
 	for i, l := range layouts {
-		res, err := runNet(l, traffic.UniformRandom{N: 64}, rate, sc, false)
-		if err != nil {
-			return nil, err
-		}
+		res := ress[i]
 		breakdowns = append(breakdowns, []float64{res.QueuingLatency, res.BlockingLatency, res.TransferLatency})
 		r.Printf("| %s | %.1f | %.1f | %.1f | %.1f |\n", l.Name,
 			res.QueuingLatency, res.BlockingLatency, res.TransferLatency, res.AvgLatency)

@@ -77,15 +77,17 @@ type Packet struct {
 	received int  // flits consumed at destination
 }
 
-// Flit is the unit of flow control.
+// Flit is the unit of flow control. Flits are copied by value through VC
+// buffers and link-event queues every cycle, so the struct is packed into
+// 24 bytes (Seq as int32; packet flit counts are far below that range).
 type Flit struct {
-	Pkt  *Packet
-	Seq  int
-	Kind FlitKind
+	Pkt *Packet
 	// arrive is the cycle the flit was written into its current input
 	// buffer; the flit becomes eligible for stage-1 arbitration on the next
 	// cycle (one-cycle buffer write / pipeline stage boundary).
 	arrive int64
+	Seq    int32
+	Kind   FlitKind
 }
 
 // makeFlits is a helper for tests: it expands a packet into its flit
@@ -103,7 +105,7 @@ func makeFlits(p *Packet) []Flit {
 		case p.NumFlits - 1:
 			k = TailFlit
 		}
-		fs[i] = Flit{Pkt: p, Seq: i, Kind: k}
+		fs[i] = Flit{Pkt: p, Seq: int32(i), Kind: k}
 	}
 	return fs
 }

@@ -15,6 +15,9 @@ import "fmt"
 //     flits of compatible packets (FIFO epochs make mixed residency legal
 //     only while draining, so ownership is checked for ACTIVE upstream
 //     use).
+//   - Active-set counters: the maintained per-router flit and pending-event
+//     counts (which let the cycle kernel skip idle routers) must equal a
+//     full rescan of the buffers and event queues.
 func (n *Network) CheckInvariants() error {
 	for r := range n.routers {
 		rt := &n.routers[r]
@@ -26,10 +29,66 @@ func (n *Network) CheckInvariants() error {
 				return fmt.Errorf("router %d port %d: %w", r, p, err)
 			}
 		}
+		if err := checkActiveSet(rt); err != nil {
+			return fmt.Errorf("router %d: %w", r, err)
+		}
 	}
 	for t := range n.nis {
 		if err := n.checkLink(&n.nis[t].up); err != nil {
 			return fmt.Errorf("ni %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// checkActiveSet audits the counters behind the event-aware scheduler
+// against a ground-truth rescan.
+func checkActiveSet(rt *router) error {
+	total := 0
+	for pi := range rt.in {
+		ip := &rt.in[pi]
+		got := 0
+		for vi := range ip.vcs {
+			vc := &ip.vcs[vi]
+			got += vc.buf.len()
+			bit := uint32(1) << vi
+			wantRA := vc.buf.len() > 0 && vc.state != vcActive
+			wantSA := vc.buf.len() > 0 && vc.state == vcActive
+			if (ip.raMask&bit != 0) != wantRA {
+				return fmt.Errorf("in[%d].vc[%d]: raMask bit %v, want %v (len %d, state %d)",
+					pi, vi, ip.raMask&bit != 0, wantRA, vc.buf.len(), vc.state)
+			}
+			if (ip.saMask&bit != 0) != wantSA {
+				return fmt.Errorf("in[%d].vc[%d]: saMask bit %v, want %v (len %d, state %d)",
+					pi, vi, ip.saMask&bit != 0, wantSA, vc.buf.len(), vc.state)
+			}
+			if head := vc.buf.peek(); head != nil && vc.headArrive != head.arrive {
+				return fmt.Errorf("in[%d].vc[%d]: headArrive %d, front flit arrived %d",
+					pi, vi, vc.headArrive, head.arrive)
+			}
+		}
+		if got != ip.flits {
+			return fmt.Errorf("in[%d]: flit counter %d, buffers hold %d", pi, ip.flits, got)
+		}
+		if (rt.portMask&(1<<pi) != 0) != (got > 0) {
+			return fmt.Errorf("in[%d]: portMask bit %v, buffers hold %d", pi, rt.portMask&(1<<pi) != 0, got)
+		}
+		total += got
+	}
+	if total != rt.inFlits {
+		return fmt.Errorf("router flit counter %d, buffers hold %d", rt.inFlits, total)
+	}
+	for pi, op := range rt.out {
+		want := op.wire.len()+op.creditQ.len() > 0
+		if (rt.evMask&(1<<pi) != 0) != want {
+			return fmt.Errorf("out[%d]: evMask bit %v, queues hold %d events",
+				pi, rt.evMask&(1<<pi) != 0, op.wire.len()+op.creditQ.len())
+		}
+		for vc := range op.credits {
+			if (op.creditMask&(1<<vc) != 0) != (op.credits[vc] > 0) {
+				return fmt.Errorf("out[%d]: creditMask bit %d is %v, credits %d",
+					pi, vc, op.creditMask&(1<<vc) != 0, op.credits[vc])
+			}
 		}
 	}
 	return nil
@@ -41,14 +100,14 @@ func (n *Network) checkLink(op *outputPort) error {
 	for vc := 0; vc < op.downVCs; vc++ {
 		buffered := down.in[op.link.Port].vcs[vc].buf.len()
 		inFlightFlits := 0
-		for _, we := range op.wire {
-			if we.outVC == vc {
+		for i := 0; i < op.wire.len(); i++ {
+			if op.wire.at(i).outVC == vc {
 				inFlightFlits++
 			}
 		}
 		inFlightCredits := 0
-		for _, ce := range op.creditQ {
-			if ce.vc == vc {
+		for i := 0; i < op.creditQ.len(); i++ {
+			if op.creditQ.at(i).vc == vc {
 				inFlightCredits++
 			}
 		}
@@ -97,9 +156,9 @@ func (n *Network) DumpRouter(r int) string {
 		for vcI := 0; vcI < op.downVCs; vcI++ {
 			used += op.downDepth - op.credits[vcI]
 		}
-		if used > 0 || len(op.wire) > 0 {
+		if used > 0 || op.wire.len() > 0 {
 			b = append(b, fmt.Sprintf("  out[%d]: %d credits consumed, %d flits on wire\n",
-				po, used, len(op.wire))...)
+				po, used, op.wire.len())...)
 		}
 	}
 	return string(b)

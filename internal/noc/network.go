@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
@@ -74,15 +75,41 @@ func New(cfg Config) (*Network, error) {
 		rt.id = r
 		rt.cfg = cfg.Routers[r]
 		radix := topo.Radix(r)
+		if radix > 31 || rt.cfg.VCs > 31 {
+			return nil, fmt.Errorf("noc: router %d radix %d / VCs %d exceed the 31-wide active-set masks", r, radix, rt.cfg.VCs)
+		}
 		rt.in = make([]inputPort, radix)
 		rt.out = make([]*outputPort, radix)
+		rt.portSent = make([]int8, radix)
+		rt.outLeft = make([]int8, radix)
+		rt.outSent = make([]int8, radix)
+		rt.outSlots = make([]int8, radix)
+		// Contiguous backing stores: a router's output ports, input VCs,
+		// buffer slots and event queues each live in one allocation, so the
+		// per-cycle stages walk dense memory instead of chasing per-port
+		// allocations. The event arenas hold each queue's steady-state
+		// maximum (links add at most two flits per cycle with a two-cycle
+		// delay, credits mature in one); evq grows past the arena on its own
+		// if that bound is ever exceeded.
+		ops := make([]outputPort, radix)
+		vcs := make([]inVC, radix*rt.cfg.VCs)
+		slots := make([]Flit, radix*rt.cfg.VCs*rt.cfg.BufDepth)
+		wireArena := make([]wireEvt, radix*4)
+		creditArena := make([]creditEvt, radix*4)
 		for p := 0; p < radix; p++ {
-			rt.in[p].vcs = make([]inVC, rt.cfg.VCs)
+			rt.in[p].vcs = vcs[p*rt.cfg.VCs : (p+1)*rt.cfg.VCs]
 			for v := range rt.in[p].vcs {
-				rt.in[p].vcs[v].buf = newRing(rt.cfg.BufDepth)
+				off := (p*rt.cfg.VCs + v) * rt.cfg.BufDepth
+				rt.in[p].vcs[v].buf = ring{buf: slots[off : off+rt.cfg.BufDepth]}
+				rt.in[p].vcs[v].idx = uint8(v)
 			}
 			rt.bufSlots += rt.cfg.VCs * rt.cfg.BufDepth
-			op := &outputPort{router: r, port: p, slots: cfg.LinkSlots(r, p)}
+			op := &ops[p]
+			op.router, op.port, op.slots = r, p, cfg.LinkSlots(r, p)
+			op.wire.buf = wireArena[p*4 : (p+1)*4]
+			op.creditQ.buf = creditArena[p*4 : (p+1)*4]
+			rt.outSlots[p] = int8(op.slots)
+			rt.outLeft[p] = int8(op.slots) // rest value; see switchAllocate
 			if link, ok := topo.Neighbor(r, p); ok {
 				op.link = link
 				down := cfg.Routers[link.Router]
@@ -92,14 +119,17 @@ func New(cfg Config) (*Network, error) {
 				for v := range op.credits {
 					op.credits[v] = down.BufDepth
 				}
+				op.creditMask = uint32(1)<<down.VCs - 1
 				op.owner = make([]*Packet, down.VCs)
 				op.pendingFree = make([]bool, down.VCs)
 			} else if term, ok := topo.PortTerminal(r, p); ok {
 				op.isTerm = true
 				op.term = term
 				op.downVCs = 1
+				op.creditMask = ^uint32(0) // sinks consume unconditionally
 			} else {
 				op.dead = true
+				op.creditMask = ^uint32(0) // mirror nil-credits semantics
 			}
 			rt.out[p] = op
 		}
@@ -134,6 +164,9 @@ func New(cfg Config) (*Network, error) {
 		for v := range q.up.credits {
 			q.up.credits[v] = down.BufDepth
 		}
+		q.up.creditMask = uint32(1)<<down.VCs - 1
+		q.up.wire.buf = make([]wireEvt, 4)
+		q.up.creditQ.buf = make([]creditEvt, 4)
 		n.routers[r].in[p].upstream = &q.up
 	}
 	n.stats.init(len(n.routers))
@@ -192,45 +225,59 @@ func (n *Network) Step() error {
 }
 
 // deliver moves matured flits off link wires into downstream buffers or
-// sinks, and matured credits back to upstream counters.
+// sinks, and matured credits back to upstream counters. Only routers with
+// queued events are visited (in ascending router order, so arrival order is
+// identical to a full scan); idle routers cost one counter check.
 func (n *Network) deliver() {
 	for r := range n.routers {
-		for _, op := range n.routers[r].out {
+		rt := &n.routers[r]
+		for m := rt.evMask; m != 0; m &= m - 1 {
+			pi := bits.TrailingZeros32(m)
+			op := rt.out[pi]
 			n.deliverPort(op)
+			if op.creditQ.n == 0 && op.wire.n == 0 {
+				rt.evMask &^= 1 << pi
+			}
 		}
 	}
 	for t := range n.nis {
-		n.deliverPort(&n.nis[t].up)
+		up := &n.nis[t].up
+		if up.wire.n > 0 || up.creditQ.n > 0 {
+			n.deliverPort(up)
+		}
 	}
 }
 
+// deliverPort pops matured events off one output port's FIFO queues.
+// Events mature in enqueue order (fixed +1/+2 delays), so the matured set
+// is always a prefix of each queue. The credit loop indexes the queue
+// directly with local cursors and writes back once: nothing reached from
+// here (credit bookkeeping, sink callbacks) ever pushes onto this port's
+// queues, so the cursors cannot go stale.
 func (n *Network) deliverPort(op *outputPort) {
-	// Credits.
-	k := 0
-	for _, ce := range op.creditQ {
-		if ce.at > n.cycle {
-			op.creditQ[k] = ce
-			k++
-			continue
-		}
-		if op.credits != nil {
-			op.credits[ce.vc]++
-			if op.credits[ce.vc] > op.downDepth {
-				panic("noc: credit overflow")
+	cyc := n.cycle
+	if cq := &op.creditQ; cq.n > 0 {
+		head, cnt, nb := cq.head, cq.n, len(cq.buf)
+		for cnt > 0 && cq.buf[head].at <= cyc {
+			vc := cq.buf[head].vc
+			head++
+			if head == nb {
+				head = 0
 			}
-			op.tryFree(ce.vc)
+			cnt--
+			if op.credits != nil {
+				op.credits[vc]++
+				if op.credits[vc] > op.downDepth {
+					panic("noc: credit overflow")
+				}
+				op.creditMask |= 1 << vc
+			}
 		}
+		cq.head, cq.n = head, cnt
 	}
-	op.creditQ = op.creditQ[:k]
-	// Flits.
-	k = 0
-	for _, we := range op.wire {
-		if we.at > n.cycle {
-			op.wire[k] = we
-			k++
-			continue
-		}
-		n.lastMove = n.cycle
+	for op.wire.n > 0 && op.wire.front().at <= cyc {
+		we := op.wire.pop()
+		n.lastMove = cyc
 		if op.slots < we.flit.Pkt.MinSlots {
 			we.flit.Pkt.MinSlots = op.slots
 		}
@@ -239,17 +286,28 @@ func (n *Network) deliverPort(op *outputPort) {
 			continue
 		}
 		rt := &n.routers[op.link.Router]
-		vc := &rt.in[op.link.Port].vcs[we.outVC]
+		ip := &rt.in[op.link.Port]
 		f := we.flit
-		f.arrive = n.cycle
+		f.arrive = cyc
+		vc := &ip.vcs[we.outVC]
+		if vc.buf.count == 0 {
+			vc.headArrive = f.arrive
+		}
 		vc.buf.push(f)
+		if vc.state == vcActive {
+			ip.saMask |= 1 << we.outVC
+		} else {
+			ip.raMask |= 1 << we.outVC
+		}
+		ip.flits++
+		rt.inFlits++
+		rt.portMask |= 1 << op.link.Port
 		rt.bufWrites++
 		if f.Kind.IsHead() && op.router >= 0 {
 			f.Pkt.Hops++
 			n.trace(EvHop, f.Pkt.ID, op.link.Router)
 		}
 	}
-	op.wire = op.wire[:k]
 }
 
 // sink consumes a flit at its destination terminal.
@@ -276,6 +334,9 @@ func (n *Network) sink(f Flit) {
 func (n *Network) inject() {
 	for t := range n.nis {
 		q := &n.nis[t]
+		if len(q.streams) == 0 && q.queued() == 0 {
+			continue // nothing queued, nothing mid-injection
+		}
 		budget := q.up.slots
 		// Advance the active streams, one flit each.
 		live := q.streams[:0]
@@ -353,9 +414,9 @@ func (n *Network) emitFlit(q *ni, st *niStream) {
 	case st.nextSeq == p.NumFlits-1:
 		kind = TailFlit
 	}
-	f := Flit{Pkt: p, Seq: st.nextSeq, Kind: kind}
+	f := Flit{Pkt: p, Seq: int32(st.nextSeq), Kind: kind}
 	q.up.consumeCredit(st.vc)
-	q.up.wire = append(q.up.wire, wireEvt{flit: f, outVC: st.vc, at: n.cycle + 1})
+	q.up.wire.push(wireEvt{flit: f, outVC: st.vc, at: n.cycle + 1})
 	n.flitsInNetwork++
 	n.stats.FlitsInjected++
 	n.lastMove = n.cycle
@@ -369,44 +430,66 @@ func (n *Network) emitFlit(q *ni, st *niStream) {
 // routeAndAllocate is pipeline stage 1a: route computation for fresh heads
 // and downstream VC allocation for waiting heads.
 func (n *Network) routeAndAllocate() {
+	// The port-fairness rotation offset is cycle%radix; routers share a
+	// handful of radix values, so memoize the division across the scan.
+	lastRadix, cycOff := 0, 0
 	for r := range n.routers {
 		rt := &n.routers[r]
+		if rt.inFlits == 0 {
+			continue // no buffered flit anywhere: no VC has work
+		}
 		radix := len(rt.in)
-		for pi0 := 0; pi0 < radix; pi0++ {
-			pi := (pi0 + int(n.cycle)) % radix
+		if radix != lastRadix {
+			lastRadix = radix
+			cycOff = int(n.cycle % int64(radix))
+		}
+		// Visit occupied ports in rotated order (cycOff first, wrapping),
+		// then only the VCs with stage-1 work, in ascending VC order —
+		// exactly the order of a full scan with the no-op visits removed.
+		for m := rotMask(rt.portMask, cycOff, radix); m != 0; m &= m - 1 {
+			pi := bits.TrailingZeros32(m) + cycOff
+			if pi >= radix {
+				pi -= radix
+			}
 			ip := &rt.in[pi]
-			for vi := range ip.vcs {
+			for vm := ip.raMask; vm != 0; vm &= vm - 1 {
+				vi := bits.TrailingZeros32(vm)
 				vc := &ip.vcs[vi]
 				if vc.state == vcIdle {
+					if vc.headArrive >= n.cycle {
+						continue // buffered this cycle; eligible next
+					}
 					head := vc.buf.peek()
-					if head == nil || !head.Kind.IsHead() || head.arrive >= n.cycle {
+					if !head.Kind.IsHead() {
 						continue
 					}
 					p := head.Pkt
 					d := n.route(r, p)
-					vc.outPort, vc.class = d.OutPort, d.VCClass
+					vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
 					p.vcClass = d.VCClass
 					vc.waitCycles = 0
 					vc.state = vcWaitVC
 				}
-				if vc.state == vcWaitVC {
+				{
 					head := vc.buf.peek()
 					p := head.Pkt
 					out := rt.out[vc.outPort]
-					lo, hi := n.alg.ClassVCs(vc.class, out.downVCs)
+					lo, hi := n.alg.ClassVCs(int(vc.class), out.downVCs)
 					if ovc, ok := out.allocVC(p, lo, hi); ok {
-						vc.outVC = ovc
+						vc.outVC = int16(ovc)
 						vc.state = vcActive
 						vc.waitCycles = 0
+						ip.raMask &^= 1 << vi
+						ip.saMask |= 1 << vi
 						continue
 					}
 					vc.waitCycles++
 					rt.arbOps++
-					if n.escaper != nil && !p.escaped && vc.waitCycles > n.escaper.EscapeThreshold() {
+					if n.escaper != nil && !p.escaped && int(vc.waitCycles) > n.escaper.EscapeThreshold() {
 						p.escaped = true
 						n.trace(EvEscape, p.ID, r)
 						d := n.escaper.EscapeHop(r, p.Src, p.Dst)
-						vc.outPort, vc.class = d.OutPort, d.VCClass
+						vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
 						p.vcClass = d.VCClass
 						vc.waitCycles = 0
 						n.stats.Escapes++
@@ -415,6 +498,13 @@ func (n *Network) routeAndAllocate() {
 			}
 		}
 	}
+}
+
+// rotMask rotates an n-bit mask right by s: bit s of m becomes bit 0 of the
+// result. Used to start mask iteration at a round-robin offset while
+// preserving the wrap-around visit order of a scalar scan.
+func rotMask(m uint32, s, n int) uint32 {
+	return (m>>s | m<<(n-s)) & (uint32(1)<<n - 1)
 }
 
 // route computes the next-hop decision for packet p at router r.
@@ -442,19 +532,21 @@ const saIterations = 3
 //   - an output port accepts at most `slots` flits (2 on wide links),
 //   - every flit needs a credit on its downstream VC.
 func (n *Network) switchAllocate() {
+	lastRadix, cycOff := 0, 0 // cycle%radix memo, as in routeAndAllocate
 	for r := range n.routers {
 		rt := &n.routers[r]
+		if rt.inFlits == 0 {
+			continue // nothing buffered: no VC can bid, no output can send
+		}
 		radix := len(rt.in)
-		if rt.portSent == nil {
-			rt.portSent = make([]int8, radix)
-			rt.outLeft = make([]int8, radix)
-			rt.outSent = make([]int8, radix)
+		if radix != lastRadix {
+			lastRadix = radix
+			cycOff = int(n.cycle % int64(radix))
 		}
-		for i := 0; i < radix; i++ {
-			rt.portSent[i] = 0
-			rt.outLeft[i] = int8(rt.out[i].slots)
-			rt.outSent[i] = 0
-		}
+		// portSent/outSent/outLeft are maintained lazily: they hold their
+		// rest values (zero / zero / outSlots) on entry, and the grant masks
+		// accumulated below restore exactly the entries a grant disturbed.
+		var inSent, outSent uint32
 		// Allocation fidelity differs by router class. The homogeneous
 		// baseline router is the classic single-iteration separable
 		// allocator: each input port's v:1 arbiter nominates its first
@@ -473,17 +565,31 @@ func (n *Network) switchAllocate() {
 		}
 		for iter := 0; iter < iters; iter++ {
 			moved := false
-			for pi0 := 0; pi0 < radix; pi0++ {
-				pi := (pi0 + int(n.cycle)) % radix
-				ip := &rt.in[pi]
+			// Occupied ports in rotated order; within a port, switch
+			// candidates (saMask) starting at the v:1 round-robin pointer.
+			// Skipped ports and VCs are exactly the visits a full scan
+			// rejects without side effects, so grant order is unchanged.
+			for m := rotMask(rt.portMask, cycOff, radix); m != 0; m &= m - 1 {
+				pi := bits.TrailingZeros32(m) + cycOff
+				if pi >= radix {
+					pi -= radix
+				}
 				if rt.portSent[pi] >= maxPerPort {
 					continue
 				}
+				ip := &rt.in[pi]
 				nvc := len(ip.vcs)
-				for i := 0; i < nvc; i++ {
-					vi := (ip.rr + i) % nvc
+				rr := ip.rr
+				for vm := rotMask(ip.saMask, rr, nvc); vm != 0; vm &= vm - 1 {
+					vi := bits.TrailingZeros32(vm) + rr
+					if vi >= nvc {
+						vi -= nvc
+					}
 					vc := &ip.vcs[vi]
-					if !n.eligible(rt, vc) {
+					// saMask guarantees an active VC with a buffered flit;
+					// only maturity and credit remain to check.
+					if vc.headArrive >= n.cycle ||
+						!rt.out[vc.outPort].creditOK(int(vc.outVC)) {
 						continue
 					}
 					rt.arbOps++
@@ -498,7 +604,13 @@ func (n *Network) switchAllocate() {
 					rt.portSent[pi]++
 					rt.outLeft[vc.outPort]--
 					rt.outSent[vc.outPort]++
-					ip.rr = (vi + 1) % nvc
+					inSent |= 1 << pi
+					outSent |= 1 << vc.outPort
+					next := vi + 1
+					if next == nvc {
+						next = 0
+					}
+					ip.rr = next
 					moved = true
 					break
 				}
@@ -507,67 +619,69 @@ func (n *Network) switchAllocate() {
 				break
 			}
 		}
-		for po := 0; po < radix; po++ {
-			if rt.outSent[po] > 0 {
-				out := rt.out[po]
-				out.rrOut++
-				out.busyCycles++
-				if rt.outSent[po] == 2 {
-					out.combineCycles++
-				}
+		for m := outSent; m != 0; m &= m - 1 {
+			po := bits.TrailingZeros32(m)
+			out := rt.out[po]
+			out.rrOut++
+			out.busyCycles++
+			if rt.outSent[po] == 2 {
+				out.combineCycles++
 			}
+			rt.outSent[po] = 0
+			rt.outLeft[po] = rt.outSlots[po]
+		}
+		for m := inSent; m != 0; m &= m - 1 {
+			rt.portSent[bits.TrailingZeros32(m)] = 0
 		}
 	}
 }
 
-// eligible reports whether an input VC can bid for the switch this cycle.
-func (n *Network) eligible(rt *router, vc *inVC) bool {
-	if vc.state != vcActive {
-		return false
-	}
-	head := vc.buf.peek()
-	if head == nil || head.arrive >= n.cycle {
-		return false
-	}
-	return rt.out[vc.outPort].creditOK(vc.outVC)
-}
-
 // sendFlit pops a winning flit from its input VC, returns a credit
-// upstream, and launches the flit onto the output link.
+// upstream, and launches the flit onto the output link. out must belong to
+// rt (its queued wire event counts against rt's pending events).
 func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort) {
 	f := vc.buf.pop()
+	if vc.buf.count > 0 {
+		vc.headArrive = vc.buf.buf[vc.buf.head].arrive
+	}
+	ip := &rt.in[inPort]
+	ip.flits--
+	rt.inFlits--
 	rt.bufReads++
 	rt.xbarFlits++
 	out.flitsSent++
 	n.lastMove = n.cycle
-	if up := rt.in[inPort].upstream; up != nil {
-		up.creditQ = append(up.creditQ, creditEvt{vc: vcIndexOf(rt, inPort, vc), at: n.cycle + 1})
-	}
-	out.consumeCredit(vc.outVC)
-	out.wire = append(out.wire, wireEvt{flit: f, outVC: vc.outVC, at: n.cycle + 2})
-	if f.Kind.IsTail() {
-		out.releaseOnTail(vc.outVC)
-		vc.state = vcIdle
-	}
-}
-
-// vcIndexOf recovers the index of vc within its input port (the VCs slice is
-// contiguous, so pointer arithmetic via comparison is safe and cheap).
-func vcIndexOf(rt *router, inPort int, vc *inVC) int {
-	vcs := rt.in[inPort].vcs
-	for i := range vcs {
-		if &vcs[i] == vc {
-			return i
+	if up := ip.upstream; up != nil {
+		up.creditQ.push(creditEvt{vc: int(vc.idx), at: n.cycle + 1})
+		if up.router >= 0 {
+			n.routers[up.router].evMask |= 1 << up.port
 		}
 	}
-	panic("noc: vc not found in its port")
+	out.consumeCredit(int(vc.outVC))
+	out.wire.push(wireEvt{flit: f, outVC: int(vc.outVC), at: n.cycle + 2})
+	rt.evMask |= 1 << out.port
+	bit := uint32(1) << vc.idx
+	if f.Kind.IsTail() {
+		out.releaseOnTail(int(vc.outVC))
+		vc.state = vcIdle
+		ip.saMask &^= bit
+		if vc.buf.count > 0 {
+			ip.raMask |= bit // next packet's head is already buffered
+		}
+	} else if vc.buf.count == 0 {
+		ip.saMask &^= bit // drained mid-packet; rearm on the next arrival
+	}
+	if ip.flits == 0 {
+		rt.portMask &^= 1 << inPort
+	}
 }
 
-// accumulate gathers per-cycle occupancy statistics.
+// accumulate gathers per-cycle occupancy statistics from the maintained
+// flit counters (occupied() rescans the buffers and is kept for audits).
 func (n *Network) accumulate() {
 	n.stats.Cycles++
 	for r := range n.routers {
 		rt := &n.routers[r]
-		rt.bufOccSum += int64(rt.occupied())
+		rt.bufOccSum += int64(rt.inFlits)
 	}
 }

@@ -78,8 +78,8 @@ func TestHopCountProperty(t *testing.T) {
 // TestRingProperty exercises the flit FIFO against a model queue.
 func TestRingProperty(t *testing.T) {
 	r := newRing(5)
-	var model []int
-	seq := 0
+	var model []int32
+	seq := int32(0)
 	f := func(op uint8) bool {
 		if op%2 == 0 && !r.full() {
 			p := &Packet{NumFlits: 1}

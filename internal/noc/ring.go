@@ -1,23 +1,29 @@
 package noc
 
 // ring is a fixed-capacity FIFO of flits, sized to the VC buffer depth.
+// Indexing wraps by conditional subtraction rather than modulo: the ring is
+// touched on every buffer write/read of the cycle kernel.
 type ring struct {
 	buf   []Flit
-	head  int
-	count int
+	head  int32
+	count int32
 }
 
 func newRing(capacity int) ring { return ring{buf: make([]Flit, capacity)} }
 
-func (r *ring) len() int   { return r.count }
+func (r *ring) len() int   { return int(r.count) }
 func (r *ring) cap() int   { return len(r.buf) }
-func (r *ring) full() bool { return r.count == len(r.buf) }
+func (r *ring) full() bool { return int(r.count) == len(r.buf) }
 
 func (r *ring) push(f Flit) {
 	if r.full() {
 		panic("noc: VC buffer overflow (credit accounting broken)")
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = f
+	i := int(r.head) + int(r.count)
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = f
 	r.count++
 }
 
@@ -34,7 +40,67 @@ func (r *ring) pop() Flit {
 	}
 	f := r.buf[r.head]
 	r.buf[r.head].Pkt = nil // drop reference for GC
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if int(r.head) == len(r.buf) {
+		r.head = 0
+	}
 	r.count--
 	return f
+}
+
+// evq is a growable FIFO ring of timed events (link wires and credit
+// returns). Both event kinds are appended with a fixed delay from the
+// current cycle, so maturity times are nondecreasing within a queue and
+// deliver can pop matured events from the front instead of scanning and
+// compacting a slice each cycle. The zero value is ready to use.
+type evq[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (q *evq[T]) len() int { return q.n }
+
+func (q *evq[T]) push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
+	q.n++
+}
+
+// front returns the oldest event; the queue must be non-empty.
+func (q *evq[T]) front() *T { return &q.buf[q.head] }
+
+func (q *evq[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // drop packet references for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return v
+}
+
+// at returns the i-th queued event (0 = oldest) for audits and debugging.
+func (q *evq[T]) at(i int) T {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
+
+func (q *evq[T]) grow() {
+	nb := make([]T, max(2*len(q.buf), 8))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf, q.head = nb, 0
 }

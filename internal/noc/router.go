@@ -10,20 +10,46 @@ const (
 	vcActive                // downstream VC held; flits flow
 )
 
-// inVC is one virtual channel of an input port.
+// inVC is one virtual channel of an input port. The allocation stages scan
+// these linearly every cycle, so the struct is packed into 48 bytes (narrow
+// index fields, int32 counters) to keep a port's VCs within two cache
+// lines; router radix and VC counts are far below the int16 range.
 type inVC struct {
-	buf        ring
-	state      vcState
-	outPort    int
-	outVC      int
-	class      int
-	waitCycles int // consecutive cycles of failed VC allocation
+	buf   ring
+	state vcState
+	// idx is this VC's position within its input port, fixed at
+	// construction so the credit path never has to search for it.
+	idx        uint8
+	outPort    int16
+	outVC      int16
+	class      int16
+	waitCycles int32 // consecutive cycles of failed VC allocation
+	// headArrive mirrors the front flit's arrive cycle (undefined when the
+	// buffer is empty), so the switch-allocation eligibility check reads
+	// this struct instead of touching the buffer slot array.
+	headArrive int64
 }
 
 // inputPort is the buffered side of a link.
 type inputPort struct {
 	vcs []inVC
 	rr  int // round-robin pointer of the input-stage (v:1) arbiter
+	// flits counts buffered flits across the port's VCs; the allocator
+	// stages skip ports with zero occupancy without touching their VCs.
+	flits int
+	// Candidate masks over the port's VCs, maintained at every buffer or
+	// state mutation so the allocation stages iterate set bits instead of
+	// scanning every VC:
+	//
+	//	raMask bit v set <=> vcs[v] buffers a flit and is not yet active
+	//	       (stage-1 work: route compute or downstream VC allocation)
+	//	saMask bit v set <=> vcs[v] buffers a flit and holds a downstream
+	//	       VC (a switch-allocation candidate)
+	//
+	// The union is exactly the non-empty VCs, so flits > 0 iff a mask bit
+	// is set. CheckInvariants audits both against a rescan.
+	raMask uint32
+	saMask uint32
 	// upstream is the output port (router or NI) feeding this input; credits
 	// travel back to it. nil for dead edge ports.
 	upstream *outputPort
@@ -52,17 +78,23 @@ type outputPort struct {
 	slots  int // flits per cycle: 2 on wide links
 
 	// Downstream VC bookkeeping. credits is nil for terminal (ejection)
-	// ports, which consume flits unconditionally.
+	// ports, which consume flits unconditionally. creditMask mirrors it —
+	// bit v set iff VC v has a credit (all ones when credits is nil) — so
+	// the eligibility check costs one field read instead of a slice chase.
 	downVCs     int
 	downDepth   int
 	credits     []int
+	creditMask  uint32
 	owner       []*Packet
 	pendingFree []bool
 	rrVC        int // VC allocation round-robin pointer
 	rrOut       int // output-stage (p:1) arbiter round-robin pointer
 
-	wire    []wireEvt
-	creditQ []creditEvt
+	// In-flight events toward the downstream side. Both queues are strict
+	// FIFOs in maturity time (wires are enqueued at a fixed +1 or +2 delay,
+	// credits always at +1), so deliver pops matured events from the front.
+	wire    evq[wireEvt]
+	creditQ evq[creditEvt]
 
 	// Statistics.
 	flitsSent     int64
@@ -72,7 +104,7 @@ type outputPort struct {
 
 // creditOK reports whether a flit can be sent on downstream VC vc.
 func (o *outputPort) creditOK(vc int) bool {
-	return o.credits == nil || o.credits[vc] > 0
+	return o.creditMask&(1<<vc) != 0
 }
 
 // consumeCredit charges one buffer slot downstream.
@@ -81,6 +113,9 @@ func (o *outputPort) consumeCredit(vc int) {
 		o.credits[vc]--
 		if o.credits[vc] < 0 {
 			panic("noc: negative credit count")
+		}
+		if o.credits[vc] == 0 {
+			o.creditMask &^= 1 << vc
 		}
 	}
 }
@@ -119,8 +154,6 @@ func (o *outputPort) releaseOnTail(vc int) {
 	o.owner[vc] = nil
 }
 
-func (o *outputPort) tryFree(vc int) {}
-
 // router is one switch node.
 type router struct {
 	id  int
@@ -129,11 +162,26 @@ type router struct {
 	out []*outputPort
 
 	// Per-cycle scratch state of the iterative separable allocator,
-	// reused across cycles: flits sent per input port, slot budget left
-	// per output, and flits sent per output.
+	// allocated once at construction and reused across cycles: flits sent
+	// per input port, slot budget left per output, and flits sent per
+	// output. outSlots caches each output's link bandwidth so the per-cycle
+	// budget reset never dereferences the output ports.
 	portSent []int8
 	outLeft  []int8
 	outSent  []int8
+	outSlots []int8
+
+	// Active-set scheduling state. inFlits counts flits buffered across the
+	// router's input VCs; the allocation stages and the occupancy
+	// accumulator skip routers holding nothing. portMask has a bit set for
+	// every input port with buffered flits, so those stages iterate set
+	// bits instead of probing every port. evMask has a bit set for every
+	// output port with queued wire or credit events; deliver visits only
+	// those ports and clears the bit once a port's queues drain. All three
+	// are live state, not statistics: they survive ResetStats.
+	inFlits  int
+	portMask uint32
+	evMask   uint32
 
 	// Statistics.
 	bufOccSum int64 // sum over cycles of occupied buffer slots

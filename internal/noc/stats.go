@@ -269,6 +269,77 @@ func (s *Stats) ensureHist() {
 	}
 }
 
+// fnvOffset and fnvPrime are the 64-bit FNV-1a parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a running hash.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint hashes every packet-level counter, the per-class aggregates
+// and the full 1-cycle-resolution latency histogram into one 64-bit value.
+// Two simulations with identical behavior produce identical fingerprints;
+// the golden determinism tests use this as the regression gate for kernel
+// optimizations (same seeds must keep the fingerprint bit-identical).
+func (s *Stats) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range []int64{
+		s.Cycles, s.PacketsInjected, s.FlitsInjected, s.FlitsReceived,
+		s.PacketsReceived, s.Escapes, s.TotalLatency, s.QueuingLatency,
+		s.TransferLatency, s.BlockingLatency, s.HopsSum,
+	} {
+		h = fnvMix(h, uint64(v))
+	}
+	for _, c := range s.Classes() {
+		cs := s.classes[c]
+		h = fnvMix(h, uint64(c))
+		h = fnvMix(h, uint64(cs.Packets))
+		h = fnvMix(h, uint64(cs.TotalLatency))
+	}
+	for b, cnt := range s.latHist {
+		if cnt != 0 {
+			h = fnvMix(h, uint64(b))
+			h = fnvMix(h, uint64(cnt))
+		}
+	}
+	return h
+}
+
+// Fingerprint extends Stats.Fingerprint with the live network state and the
+// per-router activity counters (buffer reads/writes, crossbar and arbiter
+// activity, per-link flit/busy/combining counts), so any divergence in
+// microarchitectural behavior — not just in delivered packets — changes the
+// hash.
+func (n *Network) Fingerprint() uint64 {
+	h := n.stats.Fingerprint()
+	h = fnvMix(h, uint64(n.cycle))
+	h = fnvMix(h, uint64(n.flitsInNetwork))
+	h = fnvMix(h, uint64(n.queuedPackets))
+	for r := range n.routers {
+		rt := &n.routers[r]
+		h = fnvMix(h, uint64(rt.bufOccSum))
+		h = fnvMix(h, uint64(rt.bufReads))
+		h = fnvMix(h, uint64(rt.bufWrites))
+		h = fnvMix(h, uint64(rt.xbarFlits))
+		h = fnvMix(h, uint64(rt.arbOps))
+		for _, op := range rt.out {
+			h = fnvMix(h, uint64(op.flitsSent))
+			h = fnvMix(h, uint64(op.busyCycles))
+			h = fnvMix(h, uint64(op.combineCycles))
+		}
+	}
+	return h
+}
+
 // Percentile returns the p-quantile (0 < p <= 1) of packet latency in
 // cycles, from a 1-cycle-resolution histogram. The overflow bucket returns
 // latHistMax.

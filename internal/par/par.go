@@ -1,0 +1,54 @@
+// Package par provides the deterministic fan-out helper used by the
+// experiment sweeps and the design-space exploration. Every caller follows
+// the same contract: jobs are mutually independent (each builds its own
+// simulator with fixed seeds, so parallel execution cannot change any
+// simulated result), results come back in job order, and the reported error
+// is the one the equivalent sequential loop would have hit first. Under
+// that contract a parallel sweep is byte-identical to its sequential
+// ancestor — only wall-clock time changes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0..n-1) on a bounded worker pool and returns the results in
+// index order. The pool size is GOMAXPROCS capped at n; indices are handed
+// out in order, so for n below the pool size execution degenerates to the
+// obvious one-goroutine-per-job form. If any job fails, Map returns the
+// error of the lowest failing index — exactly the error a sequential
+// for-loop that stops at the first failure would return — and no results.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

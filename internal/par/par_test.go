@@ -1,0 +1,62 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrder: results land at their job index regardless of which worker
+// ran them.
+func TestMapOrder(t *testing.T) {
+	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapFirstError: the reported error is the one at the lowest failing
+// index, matching a sequential loop that stops at the first failure.
+func TestMapFirstError(t *testing.T) {
+	errLo := errors.New("lo")
+	errHi := errors.New("hi")
+	_, err := Map(50, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errLo
+		case 31:
+			return 0, errHi
+		}
+		return i, nil
+	})
+	if err != errLo {
+		t.Fatalf("got %v, want %v", err, errLo)
+	}
+}
+
+// TestMapRunsEveryJob: all jobs execute exactly once.
+func TestMapRunsEveryJob(t *testing.T) {
+	var ran int64
+	if _, err := Map(137, func(int) (struct{}, error) {
+		atomic.AddInt64(&ran, 1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 137 {
+		t.Fatalf("ran %d jobs, want 137", ran)
+	}
+}
+
+// TestMapEmpty: a zero-length map is a no-op.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(int) (int, error) { return 1, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}

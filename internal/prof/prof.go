@@ -1,0 +1,48 @@
+// Package prof wires the standard runtime/pprof file profiles into the
+// command-line tools, so kernel optimization work can profile the real
+// sweep workloads (`experiments -cpuprofile ...`) instead of only the
+// micro-benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuFile is non-empty. The returned stop
+// function ends the CPU profile and, when memFile is non-empty, writes a
+// heap profile (after a GC, so it reflects live objects); call it once on
+// the normal exit path. Either file name may be empty to skip that profile.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
+}

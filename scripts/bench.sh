@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — run the simulator micro-benchmarks and record the results.
+#
+# Runs every benchmark in the repo root (BenchmarkNetworkCycle,
+# BenchmarkHeteroNetworkCycle, BenchmarkCMPCycle, ...) with -benchmem and
+# -count 5, keeps the raw `go test` output next to the JSON, and distills
+# the per-benchmark medians into BENCH_noc.json so kernel-performance PRs
+# can diff before/after numbers mechanically.
+#
+# Usage: scripts/bench.sh [output.json]    (default BENCH_noc.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_noc.json}
+raw=${out%.json}.txt
+
+go test -run '^$' -bench . -benchmem -count 5 . | tee "$raw"
+
+awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+	ns[name] = ns[name] " " $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i+1) == "B/op") b[name] = b[name] " " $i
+		if ($(i+1) == "allocs/op") a[name] = a[name] " " $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+function median(s,   v, m) {
+	m = split(s, v, " ")
+	asort_simple(v, m)
+	return (m % 2) ? v[(m + 1) / 2] : (v[m / 2] + v[m / 2 + 1]) / 2
+}
+function asort_simple(v, m,   i, j, t) {
+	for (i = 2; i <= m; i++)
+		for (j = i; j > 1 && v[j - 1] + 0 > v[j] + 0; j--) {
+			t = v[j]; v[j] = v[j - 1]; v[j - 1] = t
+		}
+}
+END {
+	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, date
+	for (i = 1; i <= n; i++) {
+		nm = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}%s\n", \
+			nm, median(ns[nm]), median(b[nm]), median(a[nm]), (i < n) ? "," : ""
+	}
+	printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $raw and $out" >&2
