@@ -13,6 +13,7 @@ import (
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/core"
 	"heteronoc/internal/experiments"
+	"heteronoc/internal/fault"
 	"heteronoc/internal/noc"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
@@ -147,5 +148,60 @@ func BenchmarkTableRouteBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routing.NewTableXY(m, routing.TableXYConfig{Flagged: []int{0, 7, 56, 63}, Big: big})
+	}
+}
+
+// BenchmarkFaultTableRebuild measures the cost of recomputing all routes
+// after a permanent failure (one Dijkstra per destination + the escape
+// forest) — the latency every link death charges the simulation.
+func BenchmarkFaultTableRebuild(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	ft := routing.NewFaultTable(m, routing.FaultTableConfig{Big: l.BigSet()})
+	ls := topology.NewLinkState(m)
+	ls.FailLink(m.RouterAt(3, 3), topology.PortEast)
+	ls.FailLink(m.RouterAt(4, 4), topology.PortNorth)
+	ls.FailRouter(m.RouterAt(1, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Rebuild(ls)
+	}
+}
+
+// BenchmarkFaultSweep regenerates the graceful-degradation experiment
+// (0..8 failed links, baseline vs Diagonal+BL, reliability layer +
+// saturation probes) at the reduced bench scale; scripts/bench.sh records
+// its runtime so fault-stack performance regressions show up in
+// BENCH_noc.json like kernel regressions do.
+func BenchmarkFaultSweep(b *testing.B) { runExp(b, "degradation") }
+
+// BenchmarkReliableCycle measures the per-cycle overhead of the NI
+// retransmission layer on a fault-armed network under moderate load.
+func BenchmarkReliableCycle(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	net, err := core.NewBaseline(8, 8).NetworkWith(
+		routing.NewFaultTable(m, routing.FaultTableConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.SetFaultPlan(&fault.Plan{}); err != nil {
+		b.Fatal(err)
+	}
+	rel := noc.NewReliable(net, noc.ReliableConfig{})
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				if _, err := rel.Send(t, gen.Dst(t, rng), 6, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := rel.Step(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

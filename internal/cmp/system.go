@@ -233,8 +233,10 @@ const localHopDelay = 2
 
 // flush moves matured delayed messages onward: same-tile traffic takes a
 // short local hop and dispatches directly, everything else enters the
-// network.
-func (s *System) flush() {
+// network. An injection refusal (dead terminal or severed destination under
+// a fault plan) is surfaced rather than panicking: the coherence protocol
+// has no drop semantics, so losing a message silently would wedge it.
+func (s *System) flush() error {
 	for s.delayQ.Len() > 0 && s.delayQ[0].at <= s.now {
 		e := heap.Pop(&s.delayQ).(evt)
 		switch {
@@ -243,15 +245,18 @@ func (s *System) flush() {
 		case e.m.Src == e.m.Dst:
 			heap.Push(&s.delayQ, evt{at: s.now + localHopDelay, m: e.m, local: true})
 		default:
-			s.Net.Inject(&noc.Packet{
+			if err := s.Net.TryInject(&noc.Packet{
 				Src:      e.m.Src,
 				Dst:      e.m.Dst,
 				NumFlits: s.dataFlits(e.m),
 				Class:    int(e.m.Type),
 				Payload:  e.m,
-			})
+			}); err != nil {
+				return fmt.Errorf("cmp: injecting %v %d->%d: %w", e.m.Type, e.m.Src, e.m.Dst, err)
+			}
 		}
 	}
+	return nil
 }
 
 // receive handles a packet delivered by the network.
@@ -367,7 +372,9 @@ func (s *System) ResetStats() {
 // Step advances the system by one core cycle.
 func (s *System) Step() error {
 	s.now++
-	s.flush()
+	if err := s.flush(); err != nil {
+		return err
+	}
 	// Memory controllers, in fixed order so same-cycle responses always
 	// inject identically (determinism gate).
 	for _, t := range s.mcOrder {

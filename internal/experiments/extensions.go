@@ -29,6 +29,7 @@ func Extensions() []Runner {
 		{"prefetch", "L1 next-line prefetcher", Prefetch},
 		{"tails", "Latency tail behavior", Tails},
 		{"model", "Analytical cross-validation", Model},
+		{"degradation", "Graceful degradation under link failures", Degradation},
 	}
 }
 

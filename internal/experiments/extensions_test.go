@@ -44,7 +44,7 @@ func TestPatternsAllRun(t *testing.T) {
 			t.Errorf("missing pattern %s", p)
 		}
 	}
-	if len(AllWithExtensions()) != 21 {
+	if len(AllWithExtensions()) != 22 {
 		t.Errorf("extensions list wrong: %d", len(AllWithExtensions()))
 	}
 }

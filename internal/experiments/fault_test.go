@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"heteronoc/internal/core"
+)
+
+// TestReliableDeliveryAcceptance pins the PR's headline acceptance
+// criterion: a seeded plan failing 4 links on the 8x8 heterogeneous mesh,
+// offered 0.2 flits/node/cycle through the reliability layer, delivers
+// 100% of accepted traffic exactly once — and the whole run is
+// bit-identical across repeats (network and stats fingerprints).
+func TestReliableDeliveryAcceptance(t *testing.T) {
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	run := func() degResult {
+		plan := degradationPlan(l, 4, degradationSeed+4*3)
+		res, err := runReliable(l, plan, 0.2, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a.rs.Sent == 0 {
+		t.Fatal("no traffic accepted")
+	}
+	if a.rs.Delivered != a.rs.Sent {
+		t.Fatalf("delivered %d of %d transfers — reliability layer lost traffic on a connected degraded mesh",
+			a.rs.Delivered, a.rs.Sent)
+	}
+	if a.rs.Abandoned != 0 || a.rs.Unreachable != 0 {
+		t.Fatalf("connected plan produced abandoned=%d unreachable=%d", a.rs.Abandoned, a.rs.Unreachable)
+	}
+	b := run()
+	if a.netFP != b.netFP || a.statsFP != b.statsFP {
+		t.Fatalf("repeat run not bit-identical: net %x/%x stats %x/%x",
+			a.netFP, b.netFP, a.statsFP, b.statsFP)
+	}
+}
+
+// TestDegradationRetentionCriterion runs the degradation sweep at the
+// quick scale and asserts the experiment's claim: from two failed links
+// on, the heterogeneous design retains strictly more of its own fault-free
+// saturation throughput than the homogeneous baseline retains of its.
+func TestDegradationRetentionCriterion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full degradation sweep")
+	}
+	r, err := Degradation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 8; k++ {
+		for _, key := range []string{"delivered_frac_base", "delivered_frac_hetero"} {
+			if got := r.Metrics[keyNameInt(key, k)]; got != 1.0 {
+				t.Errorf("%s at k=%d: delivered fraction %.4f, want 1.0", key, k, got)
+			}
+		}
+	}
+	for k := 2; k <= 8; k++ {
+		hetero := r.Metrics[keyNameInt("retention_hetero", k)]
+		base := r.Metrics[keyNameInt("retention_base", k)]
+		if hetero <= base {
+			t.Errorf("k=%d: hetero retention %.3f not strictly above baseline %.3f", k, hetero, base)
+		}
+	}
+	if len(r.Figures) != 2 {
+		t.Errorf("degradation report has %d figures, want 2", len(r.Figures))
+	}
+}

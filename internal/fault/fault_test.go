@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"heteronoc/internal/topology"
+)
+
+func TestPlanOrderingAndClamping(t *testing.T) {
+	p := (&Plan{}).
+		FailLink(100, 1, topology.PortEast).
+		FailRouter(10, 2).
+		AddTransient(0, 3, topology.PortSouth, 8, true) // cycle clamps to 1
+	ev := p.Events()
+	if len(ev) != 3 {
+		t.Fatalf("plan has %d events, want 3", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Cycle < ev[i-1].Cycle {
+			t.Fatalf("events out of order: %v", ev)
+		}
+	}
+	if ev[0].Cycle != 1 || ev[0].Kind != Transient {
+		t.Errorf("pre-cycle-1 event not clamped to cycle 1: %v", ev[0])
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+}
+
+func TestPlanOrderingIsStableForEqualCycles(t *testing.T) {
+	p := &Plan{}
+	for r := 0; r < 5; r++ {
+		p.FailRouter(7, r)
+	}
+	for i, e := range p.Events() {
+		if e.Router != i {
+			t.Fatalf("equal-cycle events reordered: %v", p.Events())
+		}
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"router out of range", (&Plan{}).FailRouter(1, 16)},
+		{"negative router", (&Plan{}).FailRouter(1, -1)},
+		{"port out of range", (&Plan{}).FailLink(1, 0, 99)},
+		{"non-network port", (&Plan{}).FailLink(1, 0, topology.PortLocal)},
+		{"edge port", (&Plan{}).FailLink(1, 0, topology.PortWest)},
+		{"zero-duration transient", (&Plan{}).add(Event{Cycle: 1, Kind: Transient, Router: 0, Port: topology.PortEast})},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(m); err == nil {
+			t.Errorf("%s: Validate accepted the plan", c.name)
+		}
+	}
+	good := (&Plan{}).
+		FailLink(1, 0, topology.PortEast).
+		FailRouter(2, 15).
+		AddTransient(3, 5, topology.PortNorth, 16, false)
+	if err := good.Validate(m); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	cfg := GenConfig{Links: 6, Routers: 2, Transients: 4, MaxCycle: 500, KeepConnected: true}
+	a := Generate(m, 31, cfg).Events()
+	b := Generate(m, 31, cfg).Events()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	c := Generate(m, 32, cfg).Events()
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateDrawsDistinctLinks(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	p := Generate(m, 5, GenConfig{Links: 10, MaxCycle: 100})
+	if err := p.Validate(m); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	seen := map[[2]int]bool{}
+	links := 0
+	for _, e := range p.Events() {
+		if e.Kind != LinkFail {
+			continue
+		}
+		links++
+		if seen[[2]int{e.Router, e.Port}] {
+			t.Errorf("duplicate link failure %v", e)
+		}
+		seen[[2]int{e.Router, e.Port}] = true
+	}
+	if links != 10 {
+		t.Errorf("generated %d link failures, want 10", links)
+	}
+}
+
+func TestGenerateKeepConnected(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	for seed := int64(0); seed < 20; seed++ {
+		p := Generate(m, seed, GenConfig{Links: 8, Routers: 1, MaxCycle: 1, KeepConnected: true})
+		ls := topology.NewLinkState(m)
+		for _, e := range p.Events() {
+			switch e.Kind {
+			case LinkFail:
+				ls.FailLink(e.Router, e.Port)
+			case RouterFail:
+				ls.FailRouter(e.Router)
+			}
+		}
+		if !ls.Connected() {
+			t.Errorf("seed %d: KeepConnected plan disconnects the mesh", seed)
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	p := (&Plan{}).
+		FailLink(4, 1, topology.PortEast).
+		FailRouter(5, 2).
+		AddTransient(6, 3, topology.PortSouth, 16, true).
+		AddTransient(7, 3, topology.PortSouth, 16, false)
+	ev := p.Events()
+	for i, want := range []string{"link-fail", "router-fail", "corrupt", "drop"} {
+		if got := ev[i].String(); !strings.Contains(got, want) {
+			t.Errorf("event %d string %q missing %q", i, got, want)
+		}
+	}
+}

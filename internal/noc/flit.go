@@ -75,6 +75,11 @@ type Packet struct {
 	vcClass  int  // current routing VC class
 	escaped  bool // diverted to the escape sub-network (table routing)
 	received int  // flits consumed at destination
+
+	// broken marks a packet that lost a flit to a fault (or lost its route)
+	// and is queued for purging; dropWhy records the first cause.
+	broken  bool
+	dropWhy DropReason
 }
 
 // Flit is the unit of flow control. Flits are copied by value through VC
@@ -88,6 +93,12 @@ type Flit struct {
 	arrive int64
 	Seq    int32
 	Kind   FlitKind
+	// Csum is the header checksum, computed at emission and verified at
+	// every link delivery — but only on networks with a fault plan armed,
+	// so fault-free runs skip both hashes. A transient corrupt fault flips
+	// checksum bits in flight; the receiving router detects the mismatch
+	// and drops the flit.
+	Csum uint16
 }
 
 // makeFlits is a helper for tests: it expands a packet into its flit

@@ -34,6 +34,9 @@ func (n *Network) CheckInvariants() error {
 		}
 	}
 	for t := range n.nis {
+		if n.nis[t].up.dead {
+			continue // fail-stopped terminal: its credits died with the router
+		}
 		if err := n.checkLink(&n.nis[t].up); err != nil {
 			return fmt.Errorf("ni %d: %w", t, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"heteronoc/internal/fault"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
 )
@@ -56,7 +57,18 @@ type Network struct {
 	queuedPackets  int
 	nextPktID      uint64
 
+	// Fault-injection state; all nil/false on fault-free networks, and the
+	// hot path only pays a single faultsArmed branch per touch point.
+	faultsArmed bool
+	faultEvents []fault.Event
+	faultNext   int
+	linkState   *topology.LinkState
+	faultAware  routing.FaultAware
+	niDead      []bool
+	brokenQ     []*Packet
+
 	onPacket func(*Packet)
+	onDrop   func(*Packet, DropReason)
 	tracer   Tracer
 	stats    Stats
 }
@@ -177,6 +189,11 @@ func New(cfg Config) (*Network, error) {
 // consumed at its destination terminal.
 func (n *Network) SetOnPacket(fn func(*Packet)) { n.onPacket = fn }
 
+// SetOnDrop registers a callback invoked when a packet is purged from the
+// network after a fault destroyed one of its flits or severed its route.
+// The reliability layer uses it for accounting; recovery is timer driven.
+func (n *Network) SetOnDrop(fn func(*Packet, DropReason)) { n.onDrop = fn }
+
 // Config returns the network configuration (read-only).
 func (n *Network) Config() *Config { return &n.cfg }
 
@@ -185,12 +202,38 @@ func (n *Network) Cycle() int64 { return n.cycle }
 
 // Inject queues a packet at its source terminal. The packet's ID and
 // CreateCycle are assigned here; Src, Dst and NumFlits must be set.
+// Injection bugs panic; callers that want errors use TryInject.
 func (n *Network) Inject(p *Packet) {
+	if err := n.TryInject(p); err != nil {
+		panic(err)
+	}
+}
+
+// TryInject is Inject with error returns instead of panics, so traffic
+// generators and the CMP layer surface bad endpoints as test failures
+// rather than crashes. On fault-injected networks it additionally refuses
+// packets from a fail-stopped terminal (ErrTerminalDown) and, when the
+// routing algorithm is fault aware, packets to destinations severed from
+// the source (wrapping routing.ErrUnreachable).
+func (n *Network) TryInject(p *Packet) error {
 	if p.Src < 0 || p.Src >= len(n.nis) || p.Dst < 0 || p.Dst >= len(n.nis) {
-		panic(fmt.Sprintf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst))
+		return fmt.Errorf("noc: inject with bad endpoints %d->%d", p.Src, p.Dst)
 	}
 	if p.NumFlits < 1 {
-		panic("noc: inject packet with no flits")
+		return fmt.Errorf("noc: inject packet %d->%d with no flits", p.Src, p.Dst)
+	}
+	if n.faultsArmed {
+		if n.niDead[p.Src] {
+			return fmt.Errorf("noc: source terminal %d: %w", p.Src, ErrTerminalDown)
+		}
+		if n.niDead[p.Dst] {
+			return fmt.Errorf("noc: destination terminal %d: %w", p.Dst, ErrTerminalDown)
+		}
+		if n.faultAware != nil {
+			if err := n.faultAware.RouteError(p.Src, p.Dst); err != nil {
+				return err
+			}
+		}
 	}
 	n.nextPktID++
 	p.ID = n.nextPktID
@@ -200,6 +243,7 @@ func (n *Network) Inject(p *Packet) {
 	q.queue = append(q.queue, p)
 	n.queuedPackets++
 	n.stats.PacketsInjected++
+	return nil
 }
 
 // Quiesced reports whether no packets are queued or in flight.
@@ -212,14 +256,21 @@ func (n *Network) InFlight() int { return n.flitsInNetwork }
 // deadlock watchdog fires.
 func (n *Network) Step() error {
 	n.cycle++
+	// Purge packets marked broken late last cycle (route-time losses),
+	// then strike any faults due this cycle before flits move.
+	n.purgeBroken()
+	if n.faultsArmed {
+		n.applyFaults()
+	}
 	n.deliver()
+	n.purgeBroken() // packets that lost a flit in this cycle's deliveries
 	n.inject()
 	n.routeAndAllocate()
 	n.switchAllocate()
 	n.accumulate()
 	if w := n.cfg.WatchdogCycles; w > 0 && n.flitsInNetwork > 0 && n.cycle-n.lastMove > int64(w) {
-		return fmt.Errorf("noc: deadlock watchdog: no flit moved for %d cycles at cycle %d (%d flits in flight)",
-			w, n.cycle, n.flitsInNetwork)
+		return fmt.Errorf("noc: deadlock watchdog: no flit moved for %d cycles at cycle %d (%d flits in flight)\n%s",
+			w, n.cycle, n.flitsInNetwork, n.stalledDump(4))
 	}
 	return nil
 }
@@ -278,6 +329,19 @@ func (n *Network) deliverPort(op *outputPort) {
 	for op.wire.n > 0 && op.wire.front().at <= cyc {
 		we := op.wire.pop()
 		n.lastMove = cyc
+		if n.faultsArmed {
+			if op.faultUntil >= cyc {
+				if !op.faultCorrupt {
+					n.dropWireFlit(op, we, DropTransient)
+					continue
+				}
+				we.flit.Csum ^= csumFlip // bit error in flight
+			}
+			if we.flit.Csum != headerChecksum(&we.flit) {
+				n.dropWireFlit(op, we, DropCorrupt)
+				continue
+			}
+		}
 		if op.slots < we.flit.Pkt.MinSlots {
 			we.flit.Pkt.MinSlots = op.slots
 		}
@@ -415,6 +479,9 @@ func (n *Network) emitFlit(q *ni, st *niStream) {
 		kind = TailFlit
 	}
 	f := Flit{Pkt: p, Seq: int32(st.nextSeq), Kind: kind}
+	if n.faultsArmed {
+		f.Csum = headerChecksum(&f)
+	}
 	q.up.consumeCredit(st.vc)
 	q.up.wire.push(wireEvt{flit: f, outVC: st.vc, at: n.cycle + 1})
 	n.flitsInNetwork++
@@ -465,7 +532,15 @@ func (n *Network) routeAndAllocate() {
 					}
 					p := head.Pkt
 					d := n.route(r, p)
+					if d.OutPort < 0 || rt.out[d.OutPort].dead {
+						// No live route (severed destination, or a
+						// non-fault-aware algorithm pointing at a dead
+						// link): drop the packet rather than wedge.
+						n.markBroken(p, DropUnroutable)
+						continue
+					}
 					vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
+					vc.cur = p
 					p.vcClass = d.VCClass
 					vc.waitCycles = 0
 					vc.state = vcWaitVC
@@ -489,12 +564,60 @@ func (n *Network) routeAndAllocate() {
 						p.escaped = true
 						n.trace(EvEscape, p.ID, r)
 						d := n.escaper.EscapeHop(r, p.Src, p.Dst)
+						if d.OutPort < 0 || rt.out[d.OutPort].dead {
+							n.markBroken(p, DropUnroutable)
+							continue
+						}
 						vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
 						p.vcClass = d.VCClass
 						vc.waitCycles = 0
 						n.stats.Escapes++
 					}
 				}
+			}
+			if n.escaper == nil {
+				continue
+			}
+			// Deadlock rescue for allocated-but-unstarted worms: a head that
+			// won a downstream VC but has been credit-starved ever since can
+			// still be diverted — no flit has left, so the downstream VC is
+			// handed back and the packet re-routed onto the escape network.
+			// Every blocked dependency cycle contains at least one such head
+			// (or one still in vcWaitVC, rescued above), so rescuing heads
+			// before their first flit moves keeps table routing deadlock
+			// free.
+			for vm := ip.saMask; vm != 0; vm &= vm - 1 {
+				vi := bits.TrailingZeros32(vm)
+				vc := &ip.vcs[vi]
+				head := vc.buf.peek()
+				if !head.Kind.IsHead() || head.Pkt != vc.cur {
+					continue // worm is streaming; it drains with its head
+				}
+				out := rt.out[vc.outPort]
+				if out.creditOK(int(vc.outVC)) {
+					vc.waitCycles = 0
+					continue // movable: any stall is just switch contention
+				}
+				vc.waitCycles++
+				p := head.Pkt
+				if p.escaped || int(vc.waitCycles) <= n.escaper.EscapeThreshold() {
+					continue
+				}
+				out.releaseOnTail(int(vc.outVC))
+				d := n.escaper.EscapeHop(r, p.Src, p.Dst)
+				if d.OutPort < 0 || rt.out[d.OutPort].dead {
+					n.markBroken(p, DropUnroutable)
+					continue
+				}
+				p.escaped = true
+				n.trace(EvEscape, p.ID, r)
+				n.stats.Escapes++
+				vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
+				p.vcClass = d.VCClass
+				vc.waitCycles = 0
+				vc.state = vcWaitVC
+				ip.saMask &^= 1 << vi
+				ip.raMask |= 1 << vi
 			}
 		}
 	}
@@ -664,6 +787,7 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort) {
 	if f.Kind.IsTail() {
 		out.releaseOnTail(int(vc.outVC))
 		vc.state = vcIdle
+		vc.cur = nil
 		ip.saMask &^= bit
 		if vc.buf.count > 0 {
 			ip.raMask |= bit // next packet's head is already buffered

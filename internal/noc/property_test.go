@@ -1,9 +1,11 @@
 package noc
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"heteronoc/internal/fault"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
 )
@@ -72,6 +74,90 @@ func TestHopCountProperty(t *testing.T) {
 	runUntilQuiesced(t, n, 100000)
 	if bad != 0 {
 		t.Fatalf("%d packets took non-minimal paths", bad)
+	}
+}
+
+// TestFaultPlanPathsAvoidDeadLinks is the fault-injection property test:
+// for every seeded fault plan (all failures striking at cycle 1, before
+// any flit moves), every packet the network delivers must have traversed
+// live links only, and every transfer to a reachable destination must
+// reach the application exactly once — rerouting may detour but never
+// crosses a dead link, and recovery never duplicates or loses a message.
+func TestFaultPlanPathsAvoidDeadLinks(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	for seed := int64(1); seed <= 6; seed++ {
+		plan := fault.Generate(m, seed, fault.GenConfig{
+			Links: 2 + int(seed)%5, Routers: int(seed) % 2,
+			MaxCycle: 1, KeepConnected: true,
+		})
+		n := faultMeshNet(t, plan)
+		tr := &CollectingTracer{}
+		n.SetTracer(tr)
+		rel := NewReliable(n, ReliableConfig{Timeout: 256, MaxRetries: 8})
+		delivered := map[xferKey]int{}
+		var deliveredIDs []uint64
+		rel.SetOnDeliver(func(x *Transfer, p *Packet) {
+			delivered[key(x)]++
+			deliveredIDs = append(deliveredIDs, p.ID)
+		})
+		rel.SetOnFail(func(x *Transfer, err error) {
+			t.Errorf("seed %d: transfer %d->%d abandoned: %v", seed, x.Src, x.Dst, err)
+		})
+		rng := rand.New(rand.NewSource(seed * 101))
+		sent := 0
+		for cycle := 0; cycle < 600; cycle++ {
+			for src := 0; src < 64; src++ {
+				if rng.Float64() < 0.01 {
+					if _, err := rel.Send(src, rng.Intn(64), 6, 0, nil); err == nil {
+						sent++
+					}
+				}
+			}
+			if err := rel.Step(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		for i := 0; !rel.Quiesced() && i < 1<<20; i++ {
+			if err := rel.Step(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if !rel.Quiesced() {
+			t.Fatalf("seed %d: did not quiesce", seed)
+		}
+		// Exactly once: KeepConnected means every accepted transfer has a
+		// live destination throughout, so all of them must arrive.
+		if len(delivered) != sent {
+			t.Fatalf("seed %d: %d of %d transfers delivered", seed, len(delivered), sent)
+		}
+		for k, cnt := range delivered {
+			if cnt != 1 {
+				t.Errorf("seed %d: transfer %v delivered %d times", seed, k, cnt)
+			}
+		}
+		// Path property: every delivered copy's traced route crosses live
+		// links only (the failures all predate injection, so "live" is
+		// unambiguous for the whole run).
+		ls := n.LinkState()
+		for _, id := range deliveredIDs {
+			path := tr.PathOf(id)
+			for i := 1; i < len(path); i++ {
+				p := -1
+				for q := 0; q < m.Radix(path[i-1]); q++ {
+					if link, ok := m.Neighbor(path[i-1], q); ok && link.Router == path[i] {
+						p = q
+						break
+					}
+				}
+				if p < 0 {
+					t.Fatalf("seed %d: packet %d path %v jumps non-adjacent routers", seed, id, path)
+				}
+				if !ls.Up(path[i-1], p) {
+					t.Fatalf("seed %d: packet %d path %v crosses dead link %d.%d",
+						seed, id, path, path[i-1], p)
+				}
+			}
+		}
 	}
 }
 

@@ -27,6 +27,16 @@ func (r *ring) push(f Flit) {
 	r.count++
 }
 
+// at returns the i-th buffered flit (0 = front) for audits and the fault
+// purge; i must be < count.
+func (r *ring) at(i int32) *Flit {
+	j := int(r.head) + int(i)
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
 func (r *ring) peek() *Flit {
 	if r.count == 0 {
 		return nil
@@ -46,6 +56,43 @@ func (r *ring) pop() Flit {
 	}
 	r.count--
 	return f
+}
+
+// removePacket deletes every flit of packet p from the ring, preserving
+// the order of the remaining flits, and returns the number removed. Only
+// the fault-recovery purge calls it; the hot path never removes from the
+// middle of a buffer.
+func (r *ring) removePacket(p *Packet) int {
+	if r.count == 0 {
+		return 0
+	}
+	w := int32(0)
+	n := len(r.buf)
+	for i := int32(0); i < r.count; i++ {
+		j := int(r.head) + int(i)
+		if j >= n {
+			j -= n
+		}
+		if r.buf[j].Pkt == p {
+			continue
+		}
+		k := int(r.head) + int(w)
+		if k >= n {
+			k -= n
+		}
+		r.buf[k] = r.buf[j]
+		w++
+	}
+	removed := int(r.count - w)
+	for i := w; i < r.count; i++ {
+		k := int(r.head) + int(i)
+		if k >= n {
+			k -= n
+		}
+		r.buf[k].Pkt = nil // drop reference for GC
+	}
+	r.count = w
+	return removed
 }
 
 // evq is a growable FIFO ring of timed events (link wires and credit

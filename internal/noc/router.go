@@ -24,6 +24,11 @@ type inVC struct {
 	outVC      int16
 	class      int16
 	waitCycles int32 // consecutive cycles of failed VC allocation
+	// cur is the packet the VC is currently routing or sending (nil when
+	// idle). The fault-recovery purge uses it to find and reset VCs whose
+	// packet lost a flit, including VCs whose buffer has drained
+	// mid-packet.
+	cur *Packet
 	// headArrive mirrors the front flit's arrive cycle (undefined when the
 	// buffer is empty), so the switch-allocation eligibility check reads
 	// this struct instead of touching the buffer slot array.
@@ -77,6 +82,12 @@ type outputPort struct {
 	dead   bool
 	slots  int // flits per cycle: 2 on wide links
 
+	// Transient-fault window: while cycle <= faultUntil, flits delivered
+	// across this link are corrupted (faultCorrupt, caught by the checksum
+	// downstream) or dropped outright. Zero means no window.
+	faultUntil   int64
+	faultCorrupt bool
+
 	// Downstream VC bookkeeping. credits is nil for terminal (ejection)
 	// ports, which consume flits unconditionally. creditMask mirrors it —
 	// bit v set iff VC v has a credit (all ones when credits is nil) — so
@@ -124,6 +135,9 @@ func (o *outputPort) consumeCredit(vc int) {
 // starting the scan at the round-robin pointer. Terminal ports always grant
 // VC 0 (the sink consumes flits unconditionally).
 func (o *outputPort) allocVC(pkt *Packet, lo, hi int) (int, bool) {
+	if o.dead {
+		return 0, false
+	}
 	if o.isTerm {
 		return 0, true
 	}

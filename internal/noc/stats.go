@@ -17,6 +17,14 @@ type Stats struct {
 	PacketsReceived int64
 	Escapes         int64
 
+	// Fault counters, all zero on fault-free runs (and then excluded from
+	// the fingerprint, keeping fault-free golden hashes unchanged).
+	FlitsLost         int64 // flits destroyed by link/router kills and purges
+	FlitsDroppedFault int64 // flits dropped by transient drop windows
+	FlitsCorrupted    int64 // flits dropped by the header-checksum check
+	PacketsLost       int64 // packets purged after losing a flit
+	PacketsUnroutable int64 // packets dropped for lack of a live route/terminal
+
 	// Sum of per-packet cycle counts over received packets created after
 	// the most recent ResetStats.
 	TotalLatency    int64
@@ -298,6 +306,18 @@ func (s *Stats) Fingerprint() uint64 {
 		s.TransferLatency, s.BlockingLatency, s.HopsSum,
 	} {
 		h = fnvMix(h, uint64(v))
+	}
+	// Fault counters are mixed only when nonzero, tagged by position, so
+	// fault-free fingerprints are byte-identical to the pre-fault-support
+	// goldens while any fault activity still perturbs the hash.
+	for i, v := range []int64{
+		s.FlitsLost, s.FlitsDroppedFault, s.FlitsCorrupted,
+		s.PacketsLost, s.PacketsUnroutable,
+	} {
+		if v != 0 {
+			h = fnvMix(h, uint64(0xFA0+i))
+			h = fnvMix(h, uint64(v))
+		}
 	}
 	for _, c := range s.Classes() {
 		cs := s.classes[c]

@@ -1,0 +1,315 @@
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"heteronoc/internal/topology"
+)
+
+// ErrUnreachable reports that no live path exists between two terminals
+// after link/router failures. Callers (the NI reliability layer, the
+// experiments) surface it instead of letting packets hang in the network.
+var ErrUnreachable = errors.New("routing: destination unreachable")
+
+// FaultAware is implemented by algorithms that can route around failed
+// links. The simulator calls Rebuild after applying each permanent fault;
+// NextHop then never selects a dead port, and destinations severed from a
+// source are reported via Reachable/RouteError rather than by wedging.
+type FaultAware interface {
+	Algorithm
+	// Rebuild recomputes all routes over the live links in ls. A nil ls
+	// restores the fault-free routes.
+	Rebuild(ls *topology.LinkState)
+	// Reachable reports whether a live path exists from terminal src to
+	// terminal dst.
+	Reachable(src, dst int) bool
+	// RouteError returns nil when dst is reachable from src and an error
+	// wrapping ErrUnreachable otherwise.
+	RouteError(src, dst int) error
+}
+
+// FaultTable is table-based routing that survives link and router
+// failures. Primary paths are per-destination shortest paths over the live
+// links (big routers break ties, so on HeteroNoC layouts equal-length
+// paths gravitate to the wide diagonal routers); because they take
+// turns in both orders they are not deadlock free on their own, so a
+// reserved escape VC (VC 0) drains starved packets over a spanning forest
+// of the live links. Paths restricted to a tree ascend toward the root and
+// then descend, which admits no cyclic channel dependency, so the escape
+// sub-network stays deadlock free no matter which links have died.
+//
+// When a permanent fault partitions the network, NextHop returns a
+// decision with OutPort < 0 for severed destinations and Reachable reports
+// false; the simulator drops such packets with a stat instead of hanging.
+type FaultTable struct {
+	topo        topology.Topology
+	big         []bool
+	escapeAfter int
+	ls          *topology.LinkState
+	// next[dst][router] is the output port toward terminal dst on the
+	// primary network, -1 when dst is unreachable from router.
+	next [][]int16
+	// tree[dst][router] is the output port toward terminal dst restricted
+	// to the escape spanning forest, -1 when unreachable.
+	tree [][]int16
+}
+
+// FaultTableConfig parameterizes table construction.
+type FaultTableConfig struct {
+	// Big marks big routers by router ID; among equal-length shortest
+	// paths the table prefers ones through big routers (nil = no bias).
+	Big []bool
+	// EscapeThreshold is the VA starvation limit in cycles before a packet
+	// is diverted to the escape forest (default 64).
+	EscapeThreshold int
+}
+
+// NewFaultTable builds fault-free routes for t; call Rebuild as failures
+// accumulate.
+func NewFaultTable(t topology.Topology, cfg FaultTableConfig) *FaultTable {
+	ft := &FaultTable{
+		topo:        t,
+		big:         cfg.Big,
+		escapeAfter: cfg.EscapeThreshold,
+	}
+	if ft.escapeAfter <= 0 {
+		ft.escapeAfter = 64
+	}
+	if ft.big == nil {
+		ft.big = make([]bool, t.NumRouters())
+	}
+	ft.next = make([][]int16, t.NumTerminals())
+	ft.tree = make([][]int16, t.NumTerminals())
+	ft.Rebuild(nil)
+	return ft
+}
+
+// Rebuild recomputes the primary tables and the escape forest over the
+// live links in ls (nil = all links up). It runs one Dijkstra pass per
+// destination plus one BFS forest construction, deterministic in both
+// iteration order and tie-breaking, so identical failure histories yield
+// identical tables.
+func (ft *FaultTable) Rebuild(ls *topology.LinkState) {
+	if ls == nil {
+		ls = topology.NewLinkState(ft.topo)
+	}
+	ft.ls = ls
+	treeAdj := ft.buildForest()
+	for dst := 0; dst < ft.topo.NumTerminals(); dst++ {
+		ft.next[dst] = ft.buildDst(dst)
+		ft.tree[dst] = ft.buildTreeDst(dst, treeAdj)
+	}
+}
+
+// buildDst runs Dijkstra from the destination router backwards over the
+// reversed live-link graph, producing next[router] = output port. Unlike
+// TableXY the edge set is not restricted to minimal directions — after a
+// failure the surviving shortest path may detour arbitrarily.
+func (ft *FaultTable) buildDst(dst int) []int16 {
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	n := ft.topo.NumRouters()
+	dist := make([]int, n)
+	next := make([]int16, n)
+	for i := range dist {
+		dist[i] = 1 << 30
+		next[i] = -1
+	}
+	if ft.ls.RouterFailed(dstR) {
+		return next
+	}
+	dist[dstR] = 0
+	pq := &intHeap{{0, dstR}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.prio > dist[it.v] {
+			continue
+		}
+		r := it.v
+		// Relax predecessors: routers u with a live edge u->r. By link
+		// symmetry, the edge from u into port p of r leaves u on port
+		// link.Port.
+		for p := 0; p < ft.topo.Radix(r); p++ {
+			if !ft.ls.Up(r, p) {
+				continue
+			}
+			link, _ := ft.topo.Neighbor(r, p)
+			u := link.Router
+			// Big routers win ties only: a simple path has fewer than n
+			// hops, so discounts of 1 against a per-hop cost of n can never
+			// sum to a full hop. Routes gravitate to the wide diagonal among
+			// equal-length paths but never pay an extra hop for it.
+			c := n
+			if ft.big[r] {
+				c--
+			}
+			if nd := dist[r] + c; nd < dist[u] {
+				dist[u] = nd
+				next[u] = int16(link.Port)
+				heap.Push(pq, heapItem{nd, u})
+			}
+		}
+	}
+	return next
+}
+
+// buildForest constructs a BFS spanning forest of the live-link graph and
+// returns, per router, the ports that are forest edges. Every component is
+// rooted at its lowest-numbered live router.
+func (ft *FaultTable) buildForest() [][]int16 {
+	n := ft.topo.NumRouters()
+	adj := make([][]int16, n)
+	seen := make([]bool, n)
+	var queue []int
+	for root := 0; root < n; root++ {
+		if seen[root] || ft.ls.RouterFailed(root) {
+			continue
+		}
+		seen[root] = true
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for p := 0; p < ft.topo.Radix(r); p++ {
+				if !ft.ls.Up(r, p) {
+					continue
+				}
+				link, _ := ft.topo.Neighbor(r, p)
+				if seen[link.Router] {
+					continue
+				}
+				seen[link.Router] = true
+				adj[r] = append(adj[r], int16(p))
+				adj[link.Router] = append(adj[link.Router], int16(link.Port))
+				queue = append(queue, link.Router)
+			}
+		}
+	}
+	return adj
+}
+
+// buildTreeDst BFSes from the destination router over forest edges only,
+// producing the escape next-hop table. Within a tree the path between any
+// two routers is unique, so this is exactly "up to the common ancestor,
+// then down".
+func (ft *FaultTable) buildTreeDst(dst int, treeAdj [][]int16) []int16 {
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	n := ft.topo.NumRouters()
+	next := make([]int16, n)
+	for i := range next {
+		next[i] = -1
+	}
+	if ft.ls.RouterFailed(dstR) {
+		return next
+	}
+	seen := make([]bool, n)
+	seen[dstR] = true
+	queue := []int{dstR}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, p := range treeAdj[r] {
+			link, _ := ft.topo.Neighbor(r, int(p))
+			u := link.Router
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			next[u] = int16(link.Port)
+			queue = append(queue, u)
+		}
+	}
+	return next
+}
+
+func (ft *FaultTable) Name() string      { return "fault-table" }
+func (ft *FaultTable) NumVCClasses() int { return 2 }
+
+func (ft *FaultTable) InitialClass(src, dst int) int { return classTable }
+
+func (ft *FaultTable) ClassVCs(class, numVCs int) (int, int) {
+	switch class {
+	case classEscape:
+		return 0, 1
+	default:
+		if numVCs == 1 {
+			return 0, 1
+		}
+		return 1, numVCs
+	}
+}
+
+func (ft *FaultTable) NextHop(r, src, dst, class int) Decision {
+	if class == classEscape {
+		return ft.EscapeHop(r, src, dst)
+	}
+	dstR, dstP := ft.topo.TerminalRouter(dst)
+	if ft.ls.RouterFailed(dstR) {
+		return Decision{OutPort: -1, VCClass: classTable}
+	}
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: classTable}
+	}
+	return Decision{OutPort: int(ft.next[dst][r]), VCClass: classTable}
+}
+
+// EscapeHop diverts a starved packet to the spanning-forest escape VC.
+func (ft *FaultTable) EscapeHop(r, src, dst int) Decision {
+	dstR, dstP := ft.topo.TerminalRouter(dst)
+	if ft.ls.RouterFailed(dstR) {
+		return Decision{OutPort: -1, VCClass: classEscape}
+	}
+	if r == dstR {
+		return Decision{OutPort: dstP, VCClass: classEscape}
+	}
+	return Decision{OutPort: int(ft.tree[dst][r]), VCClass: classEscape}
+}
+
+// EscapeThreshold returns the VA starvation limit in cycles.
+func (ft *FaultTable) EscapeThreshold() int { return ft.escapeAfter }
+
+// Reachable reports whether a live path exists from terminal src to
+// terminal dst.
+func (ft *FaultTable) Reachable(src, dst int) bool {
+	srcR, _ := ft.topo.TerminalRouter(src)
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	if ft.ls.RouterFailed(srcR) || ft.ls.RouterFailed(dstR) {
+		return false
+	}
+	return srcR == dstR || ft.next[dst][srcR] >= 0
+}
+
+// RouteError returns nil when dst is reachable from src, and an error
+// wrapping ErrUnreachable otherwise.
+func (ft *FaultTable) RouteError(src, dst int) error {
+	if ft.Reachable(src, dst) {
+		return nil
+	}
+	return fmt.Errorf("%w (terminal %d -> %d with %d links down)", ErrUnreachable, src, dst, ft.ls.NumDownLinks())
+}
+
+// PathRouters returns the primary-path router sequence from terminal src
+// to terminal dst, or nil when dst is unreachable. Tests use it to check
+// rebuilt paths avoid dead links.
+func (ft *FaultTable) PathRouters(src, dst int) []int {
+	r, _ := ft.topo.TerminalRouter(src)
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	if !ft.Reachable(src, dst) {
+		return nil
+	}
+	path := []int{r}
+	for r != dstR {
+		d := ft.NextHop(r, src, dst, classTable)
+		link, ok := ft.topo.Neighbor(r, d.OutPort)
+		if !ok {
+			break
+		}
+		r = link.Router
+		path = append(path, r)
+		if len(path) > ft.topo.NumRouters() {
+			break // defensive: malformed table
+		}
+	}
+	return path
+}

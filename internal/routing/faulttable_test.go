@@ -1,0 +1,245 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"heteronoc/internal/topology"
+)
+
+// portBetween finds the output port of router a that reaches router b, or
+// -1 when they are not adjacent.
+func portBetween(t topology.Topology, a, b int) int {
+	for p := 0; p < t.Radix(a); p++ {
+		if link, ok := t.Neighbor(a, p); ok && link.Router == b {
+			return p
+		}
+	}
+	return -1
+}
+
+// walkLive verifies a router path steps only across live links and
+// returns false on any dead or missing edge.
+func walkLive(ls *topology.LinkState, path []int) bool {
+	for i := 1; i < len(path); i++ {
+		p := portBetween(ls.Topology(), path[i-1], path[i])
+		if p < 0 || !ls.Up(path[i-1], p) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultTableFaultFreePathsAreMinimal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	for src := 0; src < 64; src += 3 {
+		for dst := 0; dst < 64; dst += 5 {
+			path := ft.PathRouters(src, dst)
+			if len(path)-1 != m.HopsXY(src, dst) {
+				t.Fatalf("%d->%d path %v has %d hops, want %d",
+					src, dst, path, len(path)-1, m.HopsXY(src, dst))
+			}
+		}
+	}
+}
+
+func TestBigRoutersBreakTiesWithoutLengthening(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	big := diagonalBig(m)
+	plain := NewFaultTable(m, FaultTableConfig{})
+	biased := NewFaultTable(m, FaultTableConfig{Big: big})
+	countBig := func(path []int) int {
+		n := 0
+		for _, r := range path {
+			if big[r] {
+				n++
+			}
+		}
+		return n
+	}
+	plainBig, biasedBig := 0, 0
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			bp := biased.PathRouters(src, dst)
+			// The bias must never pay an extra hop: every biased path is
+			// still a shortest path.
+			if len(bp)-1 != m.HopsXY(src, dst) {
+				t.Fatalf("%d->%d biased path %v has %d hops, want %d",
+					src, dst, bp, len(bp)-1, m.HopsXY(src, dst))
+			}
+			plainBig += countBig(plain.PathRouters(src, dst))
+			biasedBig += countBig(bp)
+		}
+	}
+	if biasedBig <= plainBig {
+		t.Errorf("bias routed through %d big-router visits vs %d unbiased — tie-break has no effect",
+			biasedBig, plainBig)
+	}
+}
+
+func TestRebuildRoutesAroundDeadLinks(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{Big: diagonalBig(m)})
+	ls := topology.NewLinkState(m)
+	// Cut a vertical slice of the mesh except one row: columns 3|4
+	// connect only through row 7.
+	for y := 0; y < 7; y++ {
+		ls.FailLink(m.RouterAt(3, y), topology.PortEast)
+	}
+	ft.Rebuild(ls)
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst += 3 {
+			if !ft.Reachable(src, dst) {
+				t.Fatalf("%d->%d unreachable on a connected graph", src, dst)
+			}
+			if err := ft.RouteError(src, dst); err != nil {
+				t.Fatalf("RouteError(%d,%d) = %v on a connected graph", src, dst, err)
+			}
+			path := ft.PathRouters(src, dst)
+			if !walkLive(ls, path) {
+				t.Fatalf("%d->%d path %v crosses a dead link", src, dst, path)
+			}
+		}
+	}
+	// A flow across the cut must detour through row 7.
+	path := ft.PathRouters(m.RouterAt(3, 0), m.RouterAt(4, 0))
+	if len(path)-1 <= 1 {
+		t.Fatalf("cross-cut path %v did not detour", path)
+	}
+	// Restoring a nil link state restores minimal routes.
+	ft.Rebuild(nil)
+	if got := ft.PathRouters(m.RouterAt(3, 0), m.RouterAt(4, 0)); len(got)-1 != 1 {
+		t.Errorf("fault-free rebuild path %v, want direct hop", got)
+	}
+}
+
+func TestUnreachableIsReportedNotHung(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	ls := topology.NewLinkState(m)
+	// Isolate corner router 0 without fail-stopping it.
+	ls.FailLink(0, topology.PortEast)
+	ls.FailLink(0, topology.PortSouth)
+	ft.Rebuild(ls)
+	if ft.Reachable(0, 63) || ft.Reachable(63, 0) {
+		t.Fatal("severed terminal reported reachable")
+	}
+	err := ft.RouteError(0, 63)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("RouteError = %v, want ErrUnreachable", err)
+	}
+	if d := ft.NextHop(5, 63, 0, classTable); d.OutPort >= 0 {
+		t.Errorf("NextHop toward severed terminal returned live port %d", d.OutPort)
+	}
+	if p := ft.PathRouters(63, 0); p != nil {
+		t.Errorf("PathRouters to severed terminal = %v, want nil", p)
+	}
+	// The terminal still reaches itself.
+	if !ft.Reachable(0, 0) {
+		t.Error("severed terminal cannot reach itself")
+	}
+}
+
+func TestFailedRouterIsUnreachable(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	ls := topology.NewLinkState(m)
+	ls.FailRouter(27)
+	ft.Rebuild(ls)
+	if ft.Reachable(0, 27) || ft.Reachable(27, 0) || ft.Reachable(27, 27) {
+		t.Error("fail-stopped router reported reachable")
+	}
+	if d := ft.NextHop(26, 0, 27, classTable); d.OutPort >= 0 {
+		t.Errorf("NextHop toward failed router returned port %d", d.OutPort)
+	}
+	if d := ft.EscapeHop(26, 0, 27); d.OutPort >= 0 {
+		t.Errorf("EscapeHop toward failed router returned port %d", d.OutPort)
+	}
+}
+
+// TestEscapeForestReachesEverywhere follows the escape-VC tree hop by hop:
+// from every router to every reachable destination the chain must arrive
+// within NumRouters steps, using only live links.
+func TestEscapeForestReachesEverywhere(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	ls := topology.NewLinkState(m)
+	for _, cut := range [][2]int{
+		{m.RouterAt(2, 2), topology.PortEast},
+		{m.RouterAt(5, 1), topology.PortSouth},
+		{m.RouterAt(0, 4), topology.PortEast},
+		{m.RouterAt(6, 6), topology.PortSouth},
+	} {
+		ls.FailLink(cut[0], cut[1])
+	}
+	ft.Rebuild(ls)
+	n := m.NumRouters()
+	for dst := 0; dst < 64; dst++ {
+		dstR, _ := m.TerminalRouter(dst)
+		for r := 0; r < n; r++ {
+			if !ft.Reachable(r, dst) {
+				continue
+			}
+			at := r
+			for steps := 0; at != dstR; steps++ {
+				if steps > n {
+					t.Fatalf("escape chain from %d to %d loops", r, dstR)
+				}
+				d := ft.EscapeHop(at, r, dst)
+				if d.VCClass != classEscape {
+					t.Fatalf("escape hop returned class %d", d.VCClass)
+				}
+				link, ok := m.Neighbor(at, d.OutPort)
+				if !ok || !ls.Up(at, d.OutPort) {
+					t.Fatalf("escape chain from %d to %d crosses dead port %d.%d", r, dstR, at, d.OutPort)
+				}
+				at = link.Router
+			}
+		}
+	}
+}
+
+func TestRebuildIsDeterministic(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	build := func() *FaultTable {
+		ft := NewFaultTable(m, FaultTableConfig{Big: diagonalBig(m)})
+		ls := topology.NewLinkState(m)
+		ls.FailLink(m.RouterAt(1, 1), topology.PortEast)
+		ls.FailRouter(m.RouterAt(6, 2))
+		ft.Rebuild(ls)
+		return ft
+	}
+	a, b := build(), build()
+	for src := 0; src < 64; src += 2 {
+		for dst := 0; dst < 64; dst += 3 {
+			pa, pb := a.PathRouters(src, dst), b.PathRouters(src, dst)
+			if len(pa) != len(pb) {
+				t.Fatalf("%d->%d differs across identical rebuilds: %v vs %v", src, dst, pa, pb)
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("%d->%d differs across identical rebuilds: %v vs %v", src, dst, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultTableVCClasses(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	if ft.NumVCClasses() != 2 {
+		t.Fatalf("NumVCClasses = %d, want 2 (table + escape)", ft.NumVCClasses())
+	}
+	if lo, hi := ft.ClassVCs(classEscape, 4); lo != 0 || hi != 1 {
+		t.Errorf("escape class VCs [%d,%d), want [0,1)", lo, hi)
+	}
+	if lo, hi := ft.ClassVCs(classTable, 4); lo != 1 || hi != 4 {
+		t.Errorf("table class VCs [%d,%d), want [1,4)", lo, hi)
+	}
+	// Degenerate single-VC routers share VC 0 between classes.
+	if lo, hi := ft.ClassVCs(classTable, 1); lo != 0 || hi != 1 {
+		t.Errorf("single-VC table class VCs [%d,%d), want [0,1)", lo, hi)
+	}
+}

@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"heteronoc/internal/topology"
+)
+
+// FuzzFaultTableRebuild drives table reconstruction with arbitrary
+// dead-link (and dead-router) sets on the 8x8 mesh. Whatever the failure
+// pattern — including partitions and fully dead networks — the rebuilt
+// tables must be finite and consistent: every next-hop chain either
+// reaches its destination within NumRouters steps over live links only,
+// or the pair is reported unreachable via Reachable/RouteError. The
+// escape-forest table is held to the same contract. Panics and
+// non-terminating walks are the failure modes under test.
+func FuzzFaultTableRebuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x03, 0x02, 0x1b, 0x81, 0x3f, 0x00})
+	f.Add([]byte{0x1b, 0x01, 0x1c, 0x01, 0x23, 0x01, 0x24, 0x01}) // carve out the center
+	f.Add([]byte{0x00, 0x80, 0x3f, 0x80, 0x07, 0x80, 0x38, 0x80}) // kill the corners
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := topology.NewMesh(8, 8)
+		ls := topology.NewLinkState(m)
+		for i := 0; i+1 < len(data); i += 2 {
+			r := int(data[i]) % m.NumRouters()
+			if data[i+1]&0x80 != 0 {
+				ls.FailRouter(r)
+				continue
+			}
+			ls.FailLink(r, int(data[i+1])%m.Radix(r))
+		}
+		ft := NewFaultTable(m, FaultTableConfig{Big: diagonalBig(m)})
+		ft.Rebuild(ls)
+		n := m.NumRouters()
+		for src := 0; src < m.NumTerminals(); src++ {
+			srcR, _ := m.TerminalRouter(src)
+			for dst := 0; dst < m.NumTerminals(); dst++ {
+				dstR, _ := m.TerminalRouter(dst)
+				if !ft.Reachable(src, dst) {
+					if err := ft.RouteError(src, dst); !errors.Is(err, ErrUnreachable) {
+						t.Fatalf("%d->%d: Reachable false but RouteError = %v", src, dst, err)
+					}
+					continue
+				}
+				if err := ft.RouteError(src, dst); err != nil {
+					t.Fatalf("%d->%d: Reachable true but RouteError = %v", src, dst, err)
+				}
+				// Primary table: the chain terminates at dstR over live links.
+				at := srcR
+				for steps := 0; at != dstR; steps++ {
+					if steps > n {
+						t.Fatalf("%d->%d: primary chain does not terminate", src, dst)
+					}
+					d := ft.NextHop(at, src, dst, classTable)
+					if d.OutPort < 0 {
+						t.Fatalf("%d->%d: primary chain dead-ends at router %d", src, dst, at)
+					}
+					link, ok := m.Neighbor(at, d.OutPort)
+					if !ok || !ls.Up(at, d.OutPort) {
+						t.Fatalf("%d->%d: primary chain crosses dead port %d.%d", src, dst, at, d.OutPort)
+					}
+					at = link.Router
+				}
+				// Escape forest: same termination contract.
+				at = srcR
+				for steps := 0; at != dstR; steps++ {
+					if steps > n {
+						t.Fatalf("%d->%d: escape chain does not terminate", src, dst)
+					}
+					d := ft.EscapeHop(at, src, dst)
+					if d.OutPort < 0 {
+						t.Fatalf("%d->%d: escape chain dead-ends at router %d", src, dst, at)
+					}
+					link, ok := m.Neighbor(at, d.OutPort)
+					if !ok || !ls.Up(at, d.OutPort) {
+						t.Fatalf("%d->%d: escape chain crosses dead port %d.%d", src, dst, at, d.OutPort)
+					}
+					at = link.Router
+				}
+			}
+		}
+	})
+}

@@ -60,7 +60,10 @@ func Run(net *noc.Network, cfg RunConfig) (RunResult, error) {
 		for t := 0; t < terms; t++ {
 			if cfg.Process.Fire(t, net.Cycle(), rng) {
 				dst := cfg.Pattern.Dst(t, rng)
-				net.Inject(&noc.Packet{Src: t, Dst: dst, NumFlits: cfg.DataFlits})
+				// Synthetic load has no delivery obligation: traffic offered
+				// to a severed destination under a fault plan is simply not
+				// accepted, like a real NI refusing a send to a dead node.
+				_ = net.TryInject(&noc.Packet{Src: t, Dst: dst, NumFlits: cfg.DataFlits})
 			}
 		}
 	}

@@ -5,7 +5,10 @@
 # BenchmarkHeteroNetworkCycle, BenchmarkCMPCycle, ...) with -benchmem and
 # -count 5, keeps the raw `go test` output next to the JSON, and distills
 # the per-benchmark medians into BENCH_noc.json so kernel-performance PRs
-# can diff before/after numbers mechanically.
+# can diff before/after numbers mechanically. The fault-injection sweep
+# (BenchmarkFaultSweep: the full degradation experiment at bench scale)
+# is additionally surfaced as a top-level "fault_sweep_ns_per_op" field so
+# fault-stack regressions are one jq expression away.
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_noc.json)
 set -eu
@@ -40,7 +43,10 @@ function asort_simple(v, m,   i, j, t) {
 		}
 }
 END {
-	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, date
+	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+	if ("BenchmarkFaultSweep" in ns)
+		printf "  \"fault_sweep_ns_per_op\": %g,\n", median(ns["BenchmarkFaultSweep"])
+	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
 		nm = order[i]
 		printf "    {\"name\": \"%s\", \"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}%s\n", \
