@@ -7,7 +7,9 @@
 package heteronoc
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"heteronoc/internal/cmp"
@@ -45,14 +47,22 @@ func runExp(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	sc := benchScale()
-	sc.Name = "bench-" + id // defeat cross-benchmark caches
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// A process-unique Scale.Name per iteration defeats both the
+		// appStudy report cache and the runcache memoization (including
+		// across -count repetitions, which share the process), so every
+		// iteration measures a real regeneration, never a cache lookup.
+		sc.Name = fmt.Sprintf("bench-%s-%d", id, benchRunSeq.Add(1))
 		if _, err := r.Run(sc); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// benchRunSeq makes every runExp iteration's Scale.Name unique for the
+// lifetime of the test process.
+var benchRunSeq atomic.Int64
 
 func BenchmarkFig1MeshUtilization(b *testing.B) { runExp(b, "fig1") }
 func BenchmarkFig2OtherTopologies(b *testing.B) { runExp(b, "fig2") }

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-exp all|fig1|fig2|table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|dse]
-//	            [-scale quick|full] [-out results.md]
+//	            [-scale quick|full] [-out results.md] [-nocache]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Each experiment prints a markdown report with the regenerated data and
@@ -21,6 +21,7 @@ import (
 
 	"heteronoc/internal/experiments"
 	"heteronoc/internal/prof"
+	"heteronoc/internal/runcache"
 )
 
 func main() {
@@ -32,7 +33,10 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	noCache := flag.Bool("nocache", false, "disable the in-process run cache (every probe re-simulates)")
 	flag.Parse()
+
+	runcache.SetEnabled(!*noCache)
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -86,13 +90,16 @@ func main() {
 	fmt.Fprintf(&b, "# HeteroNoC experiment results (scale: %s)\n\n", sc.Name)
 	for _, r := range runners {
 		start := time.Now()
+		hit0, miss0 := runcache.Stats()
 		fmt.Fprintf(os.Stderr, "running %s (%s)...", r.ID, r.Name)
 		rep, err := r.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\n%s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+		hit1, miss1 := runcache.Stats()
+		fmt.Fprintf(os.Stderr, " done in %.1fs (cache: %d hits, %d misses)\n",
+			time.Since(start).Seconds(), hit1-hit0, miss1-miss0)
 		b.WriteString(rep.Markdown())
 		metrics[rep.ID] = rep.Metrics
 		if *figdir != "" {
@@ -109,6 +116,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
 			}
 		}
+	}
+
+	if hit, miss := runcache.Stats(); hit+miss > 0 {
+		fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses (%d runs reused)\n", hit, miss, hit)
 	}
 
 	if *jsonOut != "" {

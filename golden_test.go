@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"heteronoc/internal/core"
@@ -57,10 +58,20 @@ func goldenCases() []goldenCase {
 // runGolden drives one scenario for its fixed cycle count and returns the
 // network fingerprint.
 func runGolden(t *testing.T, c goldenCase) uint64 {
+	return runGoldenSharded(t, c, 0)
+}
+
+// runGoldenSharded is runGolden with intra-cycle sharding on the given
+// worker count (0 = plain sequential kernel).
+func runGoldenSharded(t *testing.T, c goldenCase, workers int) uint64 {
 	t.Helper()
 	net, err := c.layout.Network()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if workers > 0 {
+		net.SetShardWorkers(workers)
+		defer net.Close()
 	}
 	n := c.layout.Mesh.NumTerminals()
 	var pattern traffic.Pattern = traffic.UniformRandom{N: n}
@@ -128,6 +139,31 @@ func TestGoldenDeterminism(t *testing.T) {
 	for name := range want {
 		if _, ok := got[name]; !ok {
 			t.Errorf("golden case %s no longer exists", name)
+		}
+	}
+}
+
+// TestGoldenSharded pins the tentpole guarantee of the sharded kernel: with
+// intra-cycle sharding enabled at any worker count, every golden scenario
+// must fingerprint bit-identically to the recorded sequential run. Run
+// under -race this also proves the shard spans really are disjoint.
+func TestGoldenSharded(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	for _, c := range goldenCases() {
+		for _, w := range workerCounts {
+			got := fmt.Sprintf("%016x", runGoldenSharded(t, c, w))
+			if got != want[c.name] {
+				t.Errorf("%s with %d shard workers: fingerprint %s, golden %s — sharding changed simulated behavior",
+					c.name, w, got, want[c.name])
+			}
 		}
 	}
 }

@@ -55,12 +55,18 @@ type Config struct {
 }
 
 // Cache is a set-associative array indexed by line address (byte address
-// >> line shift happens internally).
+// >> line shift happens internally). The line array is one contiguous
+// set-major slice — the set count is a power of two, so indexing is a
+// shift-and-mask (no divide) and a whole set sits in adjacent hardware
+// cache lines, which is what keeps the lookup scan cheap on the warmup
+// and coherence hot paths.
 type Cache struct {
 	cfg       Config
 	sets      int
+	setMask   uint64
+	ways      uint64
 	lineShift uint
-	lines     [][]Line
+	lines     []Line // sets × ways, set-major
 	tick      int64
 
 	// Statistics.
@@ -87,11 +93,11 @@ func New(cfg Config) *Cache {
 	if 1<<shift != cfg.LineBytes {
 		panic("cache: line size must be a power of two")
 	}
-	c := &Cache{cfg: cfg, sets: sets, lineShift: shift, lines: make([][]Line, sets)}
-	for i := range c.lines {
-		c.lines[i] = make([]Line, cfg.Ways)
+	return &Cache{
+		cfg: cfg, sets: sets, setMask: uint64(sets - 1), ways: uint64(cfg.Ways),
+		lineShift: shift,
+		lines:     make([]Line, sets*cfg.Ways),
 	}
-	return c
 }
 
 // LineAddr converts a byte address to a line address.
@@ -103,21 +109,33 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
 
-func (c *Cache) set(lineAddr uint64) []Line {
-	return c.lines[(lineAddr>>c.cfg.IndexShiftBits)%uint64(c.sets)]
+// base returns the index of lineAddr's set in the flat arrays.
+func (c *Cache) base(lineAddr uint64) uint64 {
+	return ((lineAddr >> c.cfg.IndexShiftBits) & c.setMask) * c.ways
+}
+
+// find returns the index of the valid line holding lineAddr, or false.
+func (c *Cache) find(lineAddr uint64) (uint64, bool) {
+	base := c.base(lineAddr)
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		// Tag first: at most one way matches, so the state check (which
+		// guards invalid ways, whose tags are zeroed) almost never runs.
+		if set[i].Tag == lineAddr && set[i].State.Valid() {
+			return base + uint64(i), true
+		}
+	}
+	return 0, false
 }
 
 // Lookup returns the line holding lineAddr, updating LRU on hit. The
 // returned pointer stays valid until the line is evicted.
 func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].State.Valid() && set[i].Tag == lineAddr {
-			c.tick++
-			set[i].lru = c.tick
-			c.Hits++
-			return &set[i], true
-		}
+	if i, ok := c.find(lineAddr); ok {
+		c.tick++
+		c.lines[i].lru = c.tick
+		c.Hits++
+		return &c.lines[i], true
 	}
 	c.Misses++
 	return nil, false
@@ -125,29 +143,34 @@ func (c *Cache) Lookup(lineAddr uint64) (*Line, bool) {
 
 // Peek is Lookup without LRU update or hit/miss accounting.
 func (c *Cache) Peek(lineAddr uint64) (*Line, bool) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].State.Valid() && set[i].Tag == lineAddr {
-			return &set[i], true
-		}
+	if i, ok := c.find(lineAddr); ok {
+		return &c.lines[i], true
 	}
 	return nil, false
+}
+
+// victimIdx returns the way Insert would replace in lineAddr's set: the
+// first invalid way when one exists, otherwise the LRU way (earliest way
+// wins ties, matching the historical scan order).
+func (c *Cache) victimIdx(lineAddr uint64) uint64 {
+	base := c.base(lineAddr)
+	set := c.lines[base : base+c.ways]
+	vi := 0
+	for i := range set {
+		if !set[i].State.Valid() {
+			return base + uint64(i)
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	return base + uint64(vi)
 }
 
 // Victim returns the line that Insert would replace: an invalid way when
 // one exists, otherwise the LRU way. It does not modify the cache.
 func (c *Cache) Victim(lineAddr uint64) *Line {
-	set := c.set(lineAddr)
-	var victim *Line
-	for i := range set {
-		if !set[i].State.Valid() {
-			return &set[i]
-		}
-		if victim == nil || set[i].lru < victim.lru {
-			victim = &set[i]
-		}
-	}
-	return victim
+	return &c.lines[c.victimIdx(lineAddr)]
 }
 
 // VictimWhere returns the replacement candidate for lineAddr among ways
@@ -155,7 +178,8 @@ func (c *Cache) Victim(lineAddr uint64) *Line {
 // way, or nil when every way is filtered out. Controllers use it to avoid
 // evicting lines with in-flight transactions.
 func (c *Cache) VictimWhere(lineAddr uint64, ok func(tag uint64) bool) *Line {
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
+	set := c.lines[base : base+c.ways]
 	var victim *Line
 	for i := range set {
 		if !set[i].State.Valid() {
@@ -179,25 +203,22 @@ func (c *Cache) Insert(lineAddr uint64, st State, payload any) (evicted Line, ha
 	if _, ok := c.Peek(lineAddr); ok {
 		panic(fmt.Sprintf("cache: double insert of line %#x", lineAddr))
 	}
-	v := c.Victim(lineAddr)
-	if v.State.Valid() {
-		evicted, hadVictim = *v, true
+	i := c.victimIdx(lineAddr)
+	if c.lines[i].State.Valid() {
+		evicted, hadVictim = c.lines[i], true
 		c.Evictions++
 	}
 	c.tick++
-	*v = Line{Tag: lineAddr, State: st, Payload: payload, lru: c.tick}
+	c.lines[i] = Line{Tag: lineAddr, State: st, Payload: payload, lru: c.tick}
 	return evicted, hadVictim
 }
 
 // Invalidate drops a line, returning its prior contents.
 func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].State.Valid() && set[i].Tag == lineAddr {
-			old := set[i]
-			set[i] = Line{}
-			return old, true
-		}
+	if i, ok := c.find(lineAddr); ok {
+		old := c.lines[i]
+		c.lines[i] = Line{}
+		return old, true
 	}
 	return Line{}, false
 }
@@ -205,11 +226,9 @@ func (c *Cache) Invalidate(lineAddr uint64) (Line, bool) {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.lines {
-		for i := range set {
-			if set[i].State.Valid() {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			n++
 		}
 	}
 	return n
@@ -217,11 +236,9 @@ func (c *Cache) Occupancy() int {
 
 // ForEach visits every valid line.
 func (c *Cache) ForEach(fn func(*Line)) {
-	for _, set := range c.lines {
-		for i := range set {
-			if set[i].State.Valid() {
-				fn(&set[i])
-			}
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			fn(&c.lines[i])
 		}
 	}
 }

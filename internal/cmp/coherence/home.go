@@ -60,6 +60,14 @@ type Home struct {
 	busy    map[uint64]*homeTx
 	waiting map[uint64][]Msg
 
+	// txFree and dirFree recycle transactions and directory entries. A tx
+	// returns to the pool at the end of the handler that removes its last
+	// busy alias (the rare makeRoom re-queue path leaves its tx to the GC
+	// rather than risk a double-free). Directory entries return when their
+	// L2 line is dropped.
+	txFree  []*homeTx
+	dirFree []*DirEntry
+
 	// Statistics.
 	L2Hits, L2Misses, Recalls, MemReads, MemWrites int64
 }
@@ -72,6 +80,28 @@ func NewHome(tile int, l2 *cache.Cache, tp Transport, mcFor func(uint64) int) *H
 		busy:        make(map[uint64]*homeTx),
 		waiting:     make(map[uint64][]Msg),
 	}
+}
+
+func (h *Home) getTx(req Msg) *homeTx {
+	if n := len(h.txFree); n > 0 {
+		tx := h.txFree[n-1]
+		h.txFree = h.txFree[:n-1]
+		*tx = homeTx{req: req}
+		return tx
+	}
+	return &homeTx{req: req}
+}
+
+func (h *Home) putTx(tx *homeTx) { h.txFree = append(h.txFree, tx) }
+
+func (h *Home) getDir() *DirEntry {
+	if n := len(h.dirFree); n > 0 {
+		d := h.dirFree[n-1]
+		h.dirFree = h.dirFree[:n-1]
+		*d = DirEntry{Owner: -1}
+		return d
+	}
+	return newDir()
 }
 
 // Busy reports whether a transaction is in flight for the line (tests).
@@ -117,7 +147,7 @@ func (h *Home) process(m Msg) {
 	e, hit := h.l2.Lookup(m.Line)
 	if !hit {
 		h.L2Misses++
-		tx := &homeTx{req: m}
+		tx := h.getTx(m)
 		h.busy[m.Line] = tx
 		if h.makeRoom(tx) {
 			h.fetch(tx)
@@ -129,7 +159,9 @@ func (h *Home) process(m Msg) {
 	switch m.Type {
 	case GetS:
 		if d.Owner >= 0 && d.Owner != m.Src {
-			h.busy[m.Line] = &homeTx{stage: txFwd, req: m, fwdKeepS: true}
+			tx := h.getTx(m)
+			tx.stage, tx.fwdKeepS = txFwd, true
+			h.busy[m.Line] = tx
 			h.send(FwdGetS, m.Line, d.Owner, m.Src, false)
 			return
 		}
@@ -149,13 +181,16 @@ func (h *Home) process(m Msg) {
 		h.send(Data, m.Line, m.Src, m.Src, false)
 	case GetM:
 		if d.Owner >= 0 && d.Owner != m.Src {
-			h.busy[m.Line] = &homeTx{stage: txFwd, req: m, fwdKeepS: false}
+			tx := h.getTx(m)
+			tx.stage = txFwd
+			h.busy[m.Line] = tx
 			h.send(FwdGetM, m.Line, d.Owner, m.Src, false)
 			return
 		}
 		others := d.Sharers &^ (1 << uint(m.Src))
 		if others != 0 {
-			tx := &homeTx{stage: txInv, req: m}
+			tx := h.getTx(m)
+			tx.stage = txInv
 			for t := 0; t < 64; t++ {
 				if others&(1<<uint(t)) != 0 {
 					tx.acksLeft++
@@ -218,11 +253,18 @@ func (h *Home) makeRoom(tx *homeTx) bool {
 }
 
 // dropVictim evicts a recalled or copy-free victim, writing back when
-// dirty.
+// dirty. The directory entry returns to the pool: nothing references it
+// once the L2 line is invalid.
 func (h *Home) dropVictim(line uint64, dirty bool) {
 	if dirty {
 		h.MemWrites++
 		h.send(MemWrite, line, h.mcFor(line), h.tile, true)
+	}
+	if e, ok := h.l2.Peek(line); ok {
+		if d, isDir := e.Payload.(*DirEntry); isDir {
+			h.dirFree = append(h.dirFree, d)
+			e.Payload = nil
+		}
 	}
 	h.l2.Invalidate(line)
 }
@@ -239,11 +281,12 @@ func (h *Home) fetch(tx *homeTx) {
 // GetM gets M without further blocking).
 func (h *Home) install(tx *homeTx) {
 	line := tx.req.Line
-	h.l2.Insert(line, cache.Shared, newDir())
+	h.l2.Insert(line, cache.Shared, h.getDir())
 	req := tx.req
 	delete(h.busy, line)
 	h.process(req)
 	h.drain(line)
+	h.putTx(tx)
 }
 
 func (h *Home) handleMemData(m Msg) {
@@ -307,6 +350,7 @@ func (h *Home) handleInvAck(m Msg) {
 		delete(h.busy, m.Line)
 		h.grantM(tx.req, d)
 		h.drain(m.Line)
+		h.putTx(tx)
 	default:
 		panic(fmt.Sprintf("coherence: home %d InvAck in stage %d", h.tile, tx.stage))
 	}
@@ -343,6 +387,7 @@ func (h *Home) handleFwdResp(m Msg) {
 		h.grantM(req, d)
 	}
 	h.drain(m.Line)
+	h.putTx(tx)
 }
 
 func (h *Home) handlePutM(m Msg) {

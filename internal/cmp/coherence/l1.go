@@ -51,6 +51,9 @@ type L1 struct {
 	PrefetchNextLine bool
 
 	mshr map[uint64]*l1MSHR
+	// mshrFree recycles MSHR entries (and their callback slices) between
+	// misses; the fill path returns them after callbacks run.
+	mshrFree []*l1MSHR
 	// wb counts in-flight PutMs per line (between PutM and WBAck) so
 	// racing forwards can still be answered with data.
 	wb map[uint64]int
@@ -68,6 +71,26 @@ func NewL1(tile int, c *cache.Cache, tp Transport, homeFor func(uint64) int) *L1
 		mshr: make(map[uint64]*l1MSHR),
 		wb:   make(map[uint64]int),
 	}
+}
+
+func (l *L1) getMSHR(line uint64, wantM, prefetch bool) *l1MSHR {
+	var m *l1MSHR
+	if n := len(l.mshrFree); n > 0 {
+		m = l.mshrFree[n-1]
+		l.mshrFree = l.mshrFree[:n-1]
+	} else {
+		m = &l1MSHR{}
+	}
+	m.line, m.wantM, m.prefetch = line, wantM, prefetch
+	return m
+}
+
+func (l *L1) putMSHR(m *l1MSHR) {
+	for i := range m.callbacks {
+		m.callbacks[i] = nil
+	}
+	m.callbacks = m.callbacks[:0]
+	l.mshrFree = append(l.mshrFree, m)
 }
 
 // Outstanding returns the number of in-flight misses.
@@ -125,7 +148,9 @@ func (l *L1) Access(line uint64, write bool, done func()) AccessResult {
 				return Blocked
 			}
 			l.Misses++
-			l.mshr[line] = &l1MSHR{line: line, wantM: true, callbacks: []func(){done}}
+			m := l.getMSHR(line, true, false)
+			m.callbacks = append(m.callbacks, done)
+			l.mshr[line] = m
 			// Drop the S copy now: the home invalidates other sharers and
 			// replies DataM (it may also Inv us first, harmlessly).
 			l.c.Invalidate(line)
@@ -149,7 +174,9 @@ func (l *L1) Access(line uint64, write bool, done func()) AccessResult {
 		return Blocked
 	}
 	l.Misses++
-	l.mshr[line] = &l1MSHR{line: line, wantM: write, callbacks: []func(){done}}
+	m := l.getMSHR(line, write, false)
+	m.callbacks = append(m.callbacks, done)
+	l.mshr[line] = m
 	if write {
 		l.send(GetM, line, l.homeFor(line), false)
 	} else {
@@ -173,7 +200,7 @@ func (l *L1) maybePrefetch(line uint64) {
 		return
 	}
 	l.PrefetchesIssued++
-	l.mshr[line] = &l1MSHR{line: line, prefetch: true}
+	l.mshr[line] = l.getMSHR(line, false, true)
 	l.send(GetS, line, l.homeFor(line), false)
 }
 
@@ -267,6 +294,7 @@ func (l *L1) fill(m Msg) {
 	for _, cb := range mshr.callbacks {
 		cb()
 	}
+	l.putMSHR(mshr)
 }
 
 // prefetchTag marks speculative lines until their first demand hit.

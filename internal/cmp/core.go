@@ -44,6 +44,7 @@ type Core struct {
 	pending     trace.Entry
 	outstanding []int64 // instruction positions of in-flight misses (ascending)
 	hitStall    int
+	cbFree      []*missCB // completion-callback pool (see issueMem)
 
 	// Statistics.
 	Insts       int64
@@ -108,39 +109,72 @@ func (c *Core) Step() {
 	}
 }
 
+// missCB is a pooled completion context: it replaces the closure issueMem
+// used to allocate per access. fn is the method value handed to L1.Access,
+// bound once when the context is first created and reused thereafter.
+type missCB struct {
+	c        *Core
+	issuePos int64
+	issueAt  int64
+	// sync is true while L1.Access is still on the stack: a hit's callback
+	// runs in place and must not do miss bookkeeping.
+	sync bool
+	fn   func()
+}
+
+func (c *Core) getCB() *missCB {
+	if n := len(c.cbFree); n > 0 {
+		cb := c.cbFree[n-1]
+		c.cbFree = c.cbFree[:n-1]
+		return cb
+	}
+	cb := &missCB{c: c}
+	cb.fn = cb.complete
+	return cb
+}
+
+func (c *Core) putCB(cb *missCB) { c.cbFree = append(c.cbFree, cb) }
+
+func (cb *missCB) complete() {
+	c := cb.c
+	c.Insts++
+	if cb.sync {
+		return // L1 hit: the operation committed in place; issueMem frees cb
+	}
+	c.MissRTT.Add(float64(*c.now - cb.issueAt))
+	for i, p := range c.outstanding {
+		if p == cb.issuePos {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			break
+		}
+	}
+	c.putCB(cb)
+}
+
 // issueMem tries to issue the pending memory operation. It reports whether
 // the core may keep executing this cycle.
 func (c *Core) issueMem(budget *int) bool {
 	e := c.pending
-	issuePos := c.Insts
-	issueAt := *c.now
-	sync := true
-	res := c.l1.Access(c.line(e.Addr), e.Write, func() {
-		c.Insts++
-		if sync {
-			return // L1 hit: the operation committed in place
-		}
-		c.MissRTT.Add(float64(*c.now - issueAt))
-		for i, p := range c.outstanding {
-			if p == issuePos {
-				c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
-				break
-			}
-		}
-	})
-	sync = false
+	cb := c.getCB()
+	cb.issuePos = c.Insts
+	cb.issueAt = *c.now
+	cb.sync = true
+	res := c.l1.Access(c.line(e.Addr), e.Write, cb.fn)
+	cb.sync = false
 	switch res {
 	case coherence.Hit:
+		c.putCB(cb)
 		c.havePending = false
 		*budget--
 		c.hitStall = c.cfg.L1HitDelay
 		return c.hitStall == 0
 	case coherence.MissIssued, coherence.Coalesced:
 		c.havePending = false
-		c.outstanding = append(c.outstanding, issuePos)
+		c.outstanding = append(c.outstanding, cb.issuePos)
 		*budget--
 		return true
-	default: // Blocked: retry next cycle
+	default: // Blocked: the L1 kept nothing; retry next cycle
+		c.putCB(cb)
 		return false
 	}
 }

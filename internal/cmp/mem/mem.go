@@ -5,8 +5,6 @@
 // (Section 6).
 package mem
 
-import "container/heap"
-
 // Request is one DRAM access.
 type Request struct {
 	Line    uint64
@@ -15,6 +13,10 @@ type Request struct {
 	Arrived int64
 	// done is the completion time once scheduled.
 	done int64
+	// pooled marks a controller-owned request (EnqueueLine); it returns to
+	// the free list one Tick after completion. Caller-owned requests
+	// (Enqueue) are never recycled.
+	pooled bool
 }
 
 // Controller is one memory controller with an FR-FCFS scheduler over
@@ -41,6 +43,12 @@ type Controller struct {
 	queue    []*Request
 	inFlight reqHeap
 
+	// out is the reused Tick result slice; its previous contents are
+	// recycled at the next Tick (the caller consumes results synchronously
+	// before stepping the controller again). free is the Request pool.
+	out  []*Request
+	free []*Request
+
 	// Statistics.
 	Reads, Writes    int64
 	RowHits          int64
@@ -62,6 +70,20 @@ func NewController(terminal int) *Controller {
 func (c *Controller) bankOf(line uint64) int   { return int((line / c.RowLines) % uint64(c.Banks)) }
 func (c *Controller) rowOf(line uint64) uint64 { return line / c.RowLines / uint64(c.Banks) }
 
+// EnqueueLine accepts an access without the caller allocating a Request:
+// the controller draws one from its pool and recycles it after completion.
+func (c *Controller) EnqueueLine(line uint64, home int, write bool, now int64) {
+	var r *Request
+	if n := len(c.free); n > 0 {
+		r = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		r = &Request{}
+	}
+	*r = Request{Line: line, Home: home, Write: write, pooled: true}
+	c.Enqueue(r, now)
+}
+
 // Enqueue accepts a request at time now.
 func (c *Controller) Enqueue(r *Request, now int64) {
 	r.Arrived = now
@@ -78,6 +100,9 @@ func (c *Controller) Enqueue(r *Request, now int64) {
 // bank, the oldest row-buffer-hitting request wins; if none hits, the
 // oldest request for that bank is served and re-opens the row.
 func (c *Controller) schedule(now int64) {
+	if len(c.queue) == 0 {
+		return
+	}
 	for {
 		moved := false
 		for bank := 0; bank < c.Banks; bank++ {
@@ -114,7 +139,7 @@ func (c *Controller) schedule(now int64) {
 			r.done = now + lat
 			c.bankFree[bank] = r.done
 			c.TotalQueueDelay += now - r.Arrived
-			heap.Push(&c.inFlight, r)
+			c.inFlight.push(r)
 			moved = true
 		}
 		if !moved {
@@ -125,24 +150,30 @@ func (c *Controller) schedule(now int64) {
 
 // Tick returns the requests that completed by cycle now. Write-backs
 // complete silently (they are popped but carry Write=true so the caller
-// can skip the response).
+// can skip the response). The returned slice is reused on the next Tick;
+// consume it before stepping the controller again.
 func (c *Controller) Tick(now int64) []*Request {
+	for _, r := range c.out {
+		if r.pooled {
+			c.free = append(c.free, r)
+		}
+	}
+	c.out = c.out[:0]
 	c.schedule(now)
-	var out []*Request
-	for c.inFlight.Len() > 0 && c.inFlight[0].done <= now {
-		r := heap.Pop(&c.inFlight).(*Request)
+	for len(c.inFlight) > 0 && c.inFlight[0].done <= now {
+		r := c.inFlight.pop()
 		c.Completed++
 		c.TotalServiceTime += r.done - r.Arrived
-		out = append(out, r)
+		c.out = append(c.out, r)
 	}
-	return out
+	return c.out
 }
 
 // QueueLen returns the number of requests waiting for a bank.
 func (c *Controller) QueueLen() int { return len(c.queue) }
 
 // Busy reports whether any request is queued or in flight.
-func (c *Controller) Busy() bool { return len(c.queue) > 0 || c.inFlight.Len() > 0 }
+func (c *Controller) Busy() bool { return len(c.queue) > 0 || len(c.inFlight) > 0 }
 
 // AvgServiceTime returns the mean arrival-to-done time in cycles.
 func (c *Controller) AvgServiceTime() float64 {
@@ -152,18 +183,55 @@ func (c *Controller) AvgServiceTime() float64 {
 	return float64(c.TotalServiceTime) / float64(c.Completed)
 }
 
+// reqHeap is a typed min-heap on Request.done, replicating container/heap's
+// sift algorithm so completion ties keep popping in the established order
+// without boxing a *Request per push.
 type reqHeap []*Request
 
-func (h reqHeap) Len() int           { return len(h) }
-func (h reqHeap) Less(i, j int) bool { return h[i].done < h[j].done }
-func (h reqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *reqHeap) Push(x any)        { *h = append(*h, x.(*Request)) }
-func (h *reqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
+func (h *reqHeap) push(r *Request) {
+	*h = append(*h, r)
+	h.up(len(*h) - 1)
+}
+
+func (h *reqHeap) pop() *Request {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	h.down(0, n)
+	r := a[n]
+	a[n] = nil
+	*h = a[:n]
 	return r
+}
+
+func (h reqHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || h[i].done <= h[j].done {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h reqHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].done < h[j1].done {
+			j = j2
+		}
+		if h[i].done <= h[j].done {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // Placement computes the memory-controller tile sets studied in Section 6

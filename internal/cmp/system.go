@@ -1,7 +1,6 @@
 package cmp
 
 import (
-	"container/heap"
 	"fmt"
 
 	"heteronoc/internal/cmp/cache"
@@ -76,9 +75,14 @@ type System struct {
 	MCReqLatency stats.Summary
 
 	// warmup switches the transport to instantaneous functional delivery
-	// (cache warmup before timing measurement).
-	warmup bool
-	warmQ  []coherence.Msg
+	// (cache warmup before timing measurement). warmQ drains via warmHead
+	// so the backing array is reused instead of re-sliced away.
+	warmup   bool
+	warmQ    []coherence.Msg
+	warmHead int
+
+	// msgPool recycles packet envelopes between flush and receive.
+	msgPool []*netMsg
 }
 
 type evt struct {
@@ -89,18 +93,76 @@ type evt struct {
 	local bool
 }
 
+// evtHeap is a typed min-heap on evt.at. It reproduces container/heap's
+// sift algorithm exactly (append+up on push, swap-to-end+down on pop) so
+// same-cycle ties pop in the order the interface-based heap established —
+// but without boxing an evt into an interface value on every Send.
 type evtHeap []evt
 
-func (h evtHeap) Len() int           { return len(h) }
-func (h evtHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h evtHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *evtHeap) Push(x any)        { *h = append(*h, x.(evt)) }
-func (h *evtHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (h *evtHeap) push(e evt) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *evtHeap) pop() evt {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	h.down(0, n)
+	e := a[n]
+	*h = a[:n]
 	return e
+}
+
+func (h evtHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h evtHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
+			j = j2
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// netMsg is a pooled packet envelope: the noc.Packet and its payload
+// message live in one reusable allocation. flush takes one from the pool
+// when injecting; receive returns it once the message has been copied out.
+type netMsg struct {
+	pkt noc.Packet
+	msg coherence.Msg
+}
+
+func (s *System) getNetMsg() *netMsg {
+	if n := len(s.msgPool); n > 0 {
+		nm := s.msgPool[n-1]
+		s.msgPool = s.msgPool[:n-1]
+		return nm
+	}
+	return &netMsg{}
+}
+
+func (s *System) putNetMsg(nm *netMsg) {
+	s.msgPool = append(s.msgPool, nm)
 }
 
 // New builds a CMP system.
@@ -216,7 +278,7 @@ func (s *System) Send(m coherence.Msg, after int64) {
 	k := pairKey{m.Src, m.Dst}
 	m.Seq = s.seqOut[k]
 	s.seqOut[k]++
-	heap.Push(&s.delayQ, evt{at: s.now + after, m: m})
+	s.delayQ.push(evt{at: s.now + after, m: m})
 }
 
 // dataFlits returns the flit count for a message.
@@ -237,21 +299,25 @@ const localHopDelay = 2
 // a fault plan) is surfaced rather than panicking: the coherence protocol
 // has no drop semantics, so losing a message silently would wedge it.
 func (s *System) flush() error {
-	for s.delayQ.Len() > 0 && s.delayQ[0].at <= s.now {
-		e := heap.Pop(&s.delayQ).(evt)
+	for len(s.delayQ) > 0 && s.delayQ[0].at <= s.now {
+		e := s.delayQ.pop()
 		switch {
 		case e.local:
 			s.deliverOrdered(e.m)
 		case e.m.Src == e.m.Dst:
-			heap.Push(&s.delayQ, evt{at: s.now + localHopDelay, m: e.m, local: true})
+			s.delayQ.push(evt{at: s.now + localHopDelay, m: e.m, local: true})
 		default:
-			if err := s.Net.TryInject(&noc.Packet{
+			nm := s.getNetMsg()
+			nm.msg = e.m
+			nm.pkt = noc.Packet{
 				Src:      e.m.Src,
 				Dst:      e.m.Dst,
 				NumFlits: s.dataFlits(e.m),
 				Class:    int(e.m.Type),
-				Payload:  e.m,
-			}); err != nil {
+				Payload:  nm,
+			}
+			if err := s.Net.TryInject(&nm.pkt); err != nil {
+				s.putNetMsg(nm)
 				return fmt.Errorf("cmp: injecting %v %d->%d: %w", e.m.Type, e.m.Src, e.m.Dst, err)
 			}
 		}
@@ -259,9 +325,14 @@ func (s *System) flush() error {
 	return nil
 }
 
-// receive handles a packet delivered by the network.
+// receive handles a packet delivered by the network. The envelope is
+// recycled immediately: once the message is copied out, nothing else
+// references the packet (CMP runs never arm fault plans, so the network
+// holds no dangling duplicates).
 func (s *System) receive(p *noc.Packet) {
-	m := p.Payload.(coherence.Msg)
+	nm := p.Payload.(*netMsg)
+	m := nm.msg
+	s.putNetMsg(nm)
 	s.deliverOrdered(m)
 }
 
@@ -301,7 +372,7 @@ func (s *System) dispatch(m coherence.Msg) {
 			panic(fmt.Sprintf("cmp: message %v to tile %d which has no memory controller", m.Type, m.Dst))
 		}
 		s.MCReqLatency.Add(float64(s.now - m.SentAt))
-		mc.Enqueue(&mem.Request{Line: m.Line, Home: m.Src, Write: m.Type == coherence.MemWrite}, s.now)
+		mc.EnqueueLine(m.Line, m.Src, m.Type == coherence.MemWrite, s.now)
 	case coherence.GetS, coherence.GetM, coherence.PutM, coherence.InvAck,
 		coherence.FwdAckData, coherence.FwdNoData, coherence.MemData:
 		s.Tiles[m.Dst].Home.Handle(m)
@@ -333,9 +404,9 @@ func (s *System) Warmup(entriesPerCore int) {
 // drainWarm delivers warmup messages synchronously; memory requests are
 // answered on the spot.
 func (s *System) drainWarm() {
-	for len(s.warmQ) > 0 {
-		m := s.warmQ[0]
-		s.warmQ = s.warmQ[1:]
+	for s.warmHead < len(s.warmQ) {
+		m := s.warmQ[s.warmHead]
+		s.warmHead++
 		switch m.Type {
 		case coherence.MemRead:
 			s.warmQ = append(s.warmQ, coherence.Msg{
@@ -350,6 +421,8 @@ func (s *System) drainWarm() {
 			s.Tiles[m.Dst].L1.Handle(m)
 		}
 	}
+	s.warmQ = s.warmQ[:0]
+	s.warmHead = 0
 }
 
 // ResetStats clears all measurement state (after warmup).

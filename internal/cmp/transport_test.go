@@ -66,8 +66,8 @@ func TestSendAssignsMonotonicSeqs(t *testing.T) {
 		t.Fatalf("seqOut = %d, want 5", got)
 	}
 	// Messages sit in the delay queue until their time matures.
-	if s.delayQ.Len() != 5 {
-		t.Fatalf("delay queue %d, want 5", s.delayQ.Len())
+	if len(s.delayQ) != 5 {
+		t.Fatalf("delay queue %d, want 5", len(s.delayQ))
 	}
 }
 
@@ -97,7 +97,7 @@ func TestLocalMessagesBypassNetwork(t *testing.T) {
 		s.now++
 		s.flush()
 	}
-	if s.delayQ.Len() != 0 {
+	if len(s.delayQ) != 0 {
 		t.Error("local message stuck in the delay queue")
 	}
 	if got := s.NetStats().PacketsInjected; got != 0 {

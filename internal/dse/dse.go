@@ -13,6 +13,7 @@ import (
 
 	"heteronoc/internal/core"
 	"heteronoc/internal/par"
+	"heteronoc/internal/runcache"
 	"heteronoc/internal/traffic"
 )
 
@@ -152,7 +153,18 @@ func Explore(cfg EvalConfig) ([]Candidate, error) {
 }
 
 // Evaluate scores a single placement with a short uniform-random probe.
+// Probes are deterministic (fixed seed, fixed configuration), so scores
+// are memoized in runcache: Anneal revisiting a placement, or an Explore
+// re-run in the same process, reuses the first probe.
 func Evaluate(cfg EvalConfig, bigSet []int) (Candidate, error) {
+	key := fmt.Sprintf("dse|%dx%d|big=%v|bl=%t|r=%g|p=%d|seed=%d",
+		cfg.W, cfg.H, bigSet, cfg.LinkRedist, cfg.InjectionRate, cfg.Packets, cfg.Seed)
+	return runcache.For(key, func() (Candidate, error) {
+		return evaluateUncached(cfg, bigSet)
+	})
+}
+
+func evaluateUncached(cfg EvalConfig, bigSet []int) (Candidate, error) {
 	layout := core.NewCustom(fmt.Sprintf("dse%v", bigSet), cfg.W, cfg.H, bigSet, cfg.LinkRedist)
 	net, err := layout.Network()
 	if err != nil {

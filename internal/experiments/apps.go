@@ -9,6 +9,7 @@ import (
 	"heteronoc/internal/plot"
 	"heteronoc/internal/power"
 	"heteronoc/internal/routing"
+	"heteronoc/internal/runcache"
 	"heteronoc/internal/stats"
 	"heteronoc/internal/trace"
 )
@@ -28,8 +29,22 @@ type appResult struct {
 	Classes map[int]noc.ClassStats
 }
 
-// runApp executes one benchmark on one layout.
+// runApp executes one benchmark on one layout. Default-configuration runs
+// (no per-core overrides, default routing) are memoized in runcache: the
+// same (layout, bench, MC placement, budget) recipe appears across Fig10,
+// Fig11/12 and Fig13, and every run is deterministic. Runs with custom
+// cores or a custom routing algorithm bypass the cache — those inputs
+// have no canonical key.
 func runApp(l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
+	if cores == nil && alg == nil {
+		return runcache.For(appKey(l, bench, sc, mcTiles), func() (appResult, error) {
+			return runAppUncached(l, bench, sc, mcTiles, nil, nil)
+		})
+	}
+	return runAppUncached(l, bench, sc, mcTiles, cores, alg)
+}
+
+func runAppUncached(l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
 	p, err := trace.ProfileByName(bench)
 	if err != nil {
 		return appResult{}, err

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteronoc/internal/cmp/mem"
+	"heteronoc/internal/core"
+	"heteronoc/internal/traffic"
+)
+
+// This file builds the content-addressed keys under which completed runs
+// are memoized in runcache. A key must capture every input that influences
+// the run's outcome: the layout's full spec (placement, link widths,
+// torus, frequency class), the traffic recipe, and the simulation budget.
+// Scale.Name is included defensively — it is what lets bench_test defeat
+// the cache per iteration — but the numeric budget fields are the real
+// content.
+
+// layoutKey canonicalizes a layout through its JSON spec (name, dims,
+// torus flag, big-router set, link redistribution).
+func layoutKey(l core.Layout) string {
+	data, err := core.LayoutJSON(l)
+	if err != nil {
+		// Un-serializable layouts are still keyable by their printed form.
+		return fmt.Sprintf("layout!%+v", l)
+	}
+	return string(data)
+}
+
+// patternKey canonicalizes a traffic pattern. Grid-bound patterns reduce
+// to a short tag: their grid is the layout's own mesh, already covered by
+// layoutKey.
+func patternKey(p traffic.Pattern) string {
+	switch p := p.(type) {
+	case traffic.UniformRandom:
+		return fmt.Sprintf("ur%d", p.N)
+	case traffic.NearestNeighbor:
+		return "nn"
+	case traffic.Transpose:
+		return "tp"
+	case traffic.BitComplement:
+		return fmt.Sprintf("bc%d", p.N)
+	default:
+		return fmt.Sprintf("%T%+v", p, p)
+	}
+}
+
+// netKey addresses one runNet probe (seed and MaxCycles are derived from
+// the Scale inside runNet, so the Scale fields cover them).
+func netKey(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) string {
+	return fmt.Sprintf("net|%s|%s|r=%g|sc=%s/%d/%d|ss=%t",
+		layoutKey(l), patternKey(pattern), rate,
+		sc.Name, sc.WarmupPackets, sc.MeasurePackets, selfSimilar)
+}
+
+// mcKey canonicalizes a memory-controller tile set. nil means the cmp
+// default (corner placement), spelled out so Fig13's explicit corner
+// reference hits the same entries as Fig10/11's default-placement runs.
+func mcKey(l core.Layout, mcTiles []int) string {
+	if mcTiles == nil {
+		w, h := l.Mesh.Dims()
+		mcTiles = mem.Tiles(mem.PlacementCorners, w, h)
+	}
+	return fmt.Sprint(mcTiles)
+}
+
+// appKey addresses one runApp CMP run (default cores, default routing).
+func appKey(l core.Layout, bench string, sc Scale, mcTiles []int) string {
+	return fmt.Sprintf("app|%s|%s|mc=%s|sc=%s/%d/%d",
+		layoutKey(l), bench, mcKey(l, mcTiles),
+		sc.Name, sc.CMPWarmupEntries, sc.CMPCycles)
+}
+
+// urAppKey addresses one closed-loop UR CMP run (no warmup).
+func urAppKey(l core.Layout, sc Scale, mcTiles []int) string {
+	return fmt.Sprintf("urapp|%s|mc=%s|sc=%s/%d",
+		layoutKey(l), mcKey(l, mcTiles), sc.Name, sc.CMPCycles)
+}

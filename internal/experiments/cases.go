@@ -8,6 +8,7 @@ import (
 	"heteronoc/internal/par"
 	"heteronoc/internal/plot"
 	"heteronoc/internal/routing"
+	"heteronoc/internal/runcache"
 	"heteronoc/internal/stats"
 	"heteronoc/internal/trace"
 )
@@ -125,8 +126,15 @@ func Fig13(sc Scale) (*Report, error) {
 	return r, nil
 }
 
-// runURApp runs the closed-loop UR workload on a layout.
+// runURApp runs the closed-loop UR workload on a layout. Deterministic,
+// so memoized in runcache like runApp.
 func runURApp(l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
+	return runcache.For(urAppKey(l, sc, mcTiles), func() (appResult, error) {
+		return runURAppUncached(l, sc, mcTiles)
+	})
+}
+
+func runURAppUncached(l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
 	n := l.Mesh.NumTerminals()
 	s, err := cmp.New(cmp.Config{Layout: l, Traces: urTraces(n), MCTiles: mcTiles})
 	if err != nil {

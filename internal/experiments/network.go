@@ -7,13 +7,23 @@ import (
 	"heteronoc/internal/plot"
 	"heteronoc/internal/power"
 	"heteronoc/internal/routing"
+	"heteronoc/internal/runcache"
 	"heteronoc/internal/stats"
 	"heteronoc/internal/topology"
 	"heteronoc/internal/traffic"
 )
 
-// runNet drives one network-only measurement.
+// runNet drives one network-only measurement. Runs are deterministic
+// (fixed seed, fixed configuration), so completed results are memoized in
+// runcache under a key covering every input; repeated probes — across
+// figures or across re-invocations in one process — reuse the first run.
 func runNet(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
+	return runcache.For(netKey(l, pattern, rate, sc, selfSimilar), func() (traffic.RunResult, error) {
+		return runNetUncached(l, pattern, rate, sc, selfSimilar)
+	})
+}
+
+func runNetUncached(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
 	net, err := l.Network()
 	if err != nil {
 		return traffic.RunResult{}, err

@@ -49,6 +49,16 @@ type Config struct {
 	// cycles while packets are in flight (deadlock detection). Zero
 	// disables the watchdog.
 	WatchdogCycles int
+
+	// ShardWorkers enables deterministic intra-cycle sharding: the
+	// allocation stages of every eligible Step run over contiguous router
+	// spans on a persistent pool of this many workers, with cross-router
+	// effects committed sequentially in shard order (see shard.go). Results
+	// are bit-identical to the sequential kernel for every worker count.
+	// Zero (the default) keeps the plain sequential kernel. Networks built
+	// with ShardWorkers > 0 own a worker pool; call Network.Close to
+	// release it.
+	ShardWorkers int
 }
 
 // normalize validates the configuration and expands broadcast fields.

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"heteronoc/internal/fault"
+	"heteronoc/internal/par"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
 )
@@ -71,6 +72,13 @@ type Network struct {
 	onDrop   func(*Packet, DropReason)
 	tracer   Tracer
 	stats    Stats
+
+	// Intra-cycle sharding (see shard.go). directFx is the always-present
+	// sequential effect sink; pool and shards exist only when sharding is
+	// enabled via Config.ShardWorkers or SetShardWorkers.
+	directFx tickFx
+	pool     *par.Pool
+	shards   []tickFx
 }
 
 // New builds and validates a network.
@@ -182,6 +190,10 @@ func New(cfg Config) (*Network, error) {
 		n.routers[r].in[p].upstream = &q.up
 	}
 	n.stats.init(len(n.routers))
+	n.directFx = tickFx{n: n, direct: true}
+	if cfg.ShardWorkers > 0 {
+		n.SetShardWorkers(cfg.ShardWorkers)
+	}
 	return n, nil
 }
 
@@ -265,8 +277,12 @@ func (n *Network) Step() error {
 	n.deliver()
 	n.purgeBroken() // packets that lost a flit in this cycle's deliveries
 	n.inject()
-	n.routeAndAllocate()
-	n.switchAllocate()
+	if n.shardable() {
+		n.allocateSharded()
+	} else {
+		n.routeAndAllocate(0, len(n.routers), &n.directFx)
+		n.switchAllocate(0, len(n.routers), &n.directFx)
+	}
 	n.accumulate()
 	if w := n.cfg.WatchdogCycles; w > 0 && n.flitsInNetwork > 0 && n.cycle-n.lastMove > int64(w) {
 		return fmt.Errorf("noc: deadlock watchdog: no flit moved for %d cycles at cycle %d (%d flits in flight)\n%s",
@@ -495,12 +511,15 @@ func (n *Network) emitFlit(q *ni, st *niStream) {
 }
 
 // routeAndAllocate is pipeline stage 1a: route computation for fresh heads
-// and downstream VC allocation for waiting heads.
-func (n *Network) routeAndAllocate() {
+// and downstream VC allocation for waiting heads, over routers [lo,hi).
+// All writes stay inside the visited router (and the packet whose head it
+// holds) except the effects routed through fx, so disjoint spans may run
+// concurrently (see shard.go).
+func (n *Network) routeAndAllocate(lo, hi int, fx *tickFx) {
 	// The port-fairness rotation offset is cycle%radix; routers share a
 	// handful of radix values, so memoize the division across the scan.
 	lastRadix, cycOff := 0, 0
-	for r := range n.routers {
+	for r := lo; r < hi; r++ {
 		rt := &n.routers[r]
 		if rt.inFlits == 0 {
 			continue // no buffered flit anywhere: no VC has work
@@ -536,7 +555,7 @@ func (n *Network) routeAndAllocate() {
 						// No live route (severed destination, or a
 						// non-fault-aware algorithm pointing at a dead
 						// link): drop the packet rather than wedge.
-						n.markBroken(p, DropUnroutable)
+						fx.markBroken(p, DropUnroutable)
 						continue
 					}
 					vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
@@ -565,7 +584,7 @@ func (n *Network) routeAndAllocate() {
 						n.trace(EvEscape, p.ID, r)
 						d := n.escaper.EscapeHop(r, p.Src, p.Dst)
 						if d.OutPort < 0 || rt.out[d.OutPort].dead {
-							n.markBroken(p, DropUnroutable)
+							fx.markBroken(p, DropUnroutable)
 							continue
 						}
 						vc.outPort, vc.class = int16(d.OutPort), int16(d.VCClass)
@@ -606,7 +625,7 @@ func (n *Network) routeAndAllocate() {
 				out.releaseOnTail(int(vc.outVC))
 				d := n.escaper.EscapeHop(r, p.Src, p.Dst)
 				if d.OutPort < 0 || rt.out[d.OutPort].dead {
-					n.markBroken(p, DropUnroutable)
+					fx.markBroken(p, DropUnroutable)
 					continue
 				}
 				p.escaped = true
@@ -654,9 +673,9 @@ const saIterations = 3
 //     output port (the split-datapath crossbar of Figure 4),
 //   - an output port accepts at most `slots` flits (2 on wide links),
 //   - every flit needs a credit on its downstream VC.
-func (n *Network) switchAllocate() {
+func (n *Network) switchAllocate(lo, hi int, fx *tickFx) {
 	lastRadix, cycOff := 0, 0 // cycle%radix memo, as in routeAndAllocate
-	for r := range n.routers {
+	for r := lo; r < hi; r++ {
 		rt := &n.routers[r]
 		if rt.inFlits == 0 {
 			continue // nothing buffered: no VC can bid, no output can send
@@ -723,7 +742,7 @@ func (n *Network) switchAllocate() {
 						break // baseline: the nomination is lost this cycle
 					}
 					out := rt.out[vc.outPort]
-					n.sendFlit(rt, pi, vc, out)
+					n.sendFlit(rt, pi, vc, out, fx)
 					rt.portSent[pi]++
 					rt.outLeft[vc.outPort]--
 					rt.outSent[vc.outPort]++
@@ -761,8 +780,11 @@ func (n *Network) switchAllocate() {
 
 // sendFlit pops a winning flit from its input VC, returns a credit
 // upstream, and launches the flit onto the output link. out must belong to
-// rt (its queued wire event counts against rt's pending events).
-func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort) {
+// rt (its queued wire event counts against rt's pending events). The
+// upstream credit push is safe in a parallel pass — this router is the
+// credit queue's only writer — but the upstream event-mask bit and the
+// progress flag go through fx.
+func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx *tickFx) {
 	f := vc.buf.pop()
 	if vc.buf.count > 0 {
 		vc.headArrive = vc.buf.buf[vc.buf.head].arrive
@@ -773,11 +795,11 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort) {
 	rt.bufReads++
 	rt.xbarFlits++
 	out.flitsSent++
-	n.lastMove = n.cycle
+	fx.progress()
 	if up := ip.upstream; up != nil {
 		up.creditQ.push(creditEvt{vc: int(vc.idx), at: n.cycle + 1})
 		if up.router >= 0 {
-			n.routers[up.router].evMask |= 1 << up.port
+			fx.creditNotify(up.router, up.port)
 		}
 	}
 	out.consumeCredit(int(vc.outVC))

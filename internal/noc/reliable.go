@@ -1,9 +1,6 @@
 package noc
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Reliable is the NI-level end-to-end reliability layer: it gives every
 // logical transfer a per-(src,dst) sequence number, retransmits after a
@@ -27,6 +24,9 @@ type Reliable struct {
 	pending   map[xferKey]*Transfer
 	timers    timerHeap
 	order     uint64
+	// pktFree recycles injection packets: a delivered copy is dead once
+	// onPacket returns (copies lost to fault purges simply fall to the GC).
+	pktFree []*Packet
 	onDeliver func(*Transfer, *Packet)
 	onFail    func(*Transfer, error)
 	stats     ReliableStats
@@ -130,21 +130,60 @@ type timerItem struct {
 	key      xferKey
 }
 
+// timerHeap is a typed min-heap on (deadline, order). It replicates
+// container/heap's sift algorithm so timer fire order is unchanged, but a
+// push no longer boxes a timerItem into an interface value — the
+// retransmission bookkeeping path allocates nothing in steady state.
 type timerHeap []timerItem
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	return h[i].deadline < h[j].deadline ||
 		(h[i].deadline == h[j].deadline && h[i].order < h[j].order)
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerItem)) }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+func (h *timerHeap) push(it timerItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *timerHeap) pop() timerItem {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	h.down(0, n)
+	it := a[n]
+	*h = a[:n]
 	return it
+}
+
+func (h timerHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h timerHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // NewReliable wraps a network with the end-to-end reliability layer. It
@@ -175,6 +214,8 @@ func (rel *Reliable) Net() *Network { return rel.net }
 func (rel *Reliable) Stats() *ReliableStats { return &rel.stats }
 
 // SetOnDeliver registers the exactly-once application delivery callback.
+// The *Packet argument is only valid for the duration of the callback (the
+// reliability layer recycles delivered packets).
 func (rel *Reliable) SetOnDeliver(fn func(*Transfer, *Packet)) { rel.onDeliver = fn }
 
 // SetOnFail registers the callback for abandoned transfers.
@@ -207,26 +248,41 @@ func (rel *Reliable) Send(src, dst, numFlits, class int, payload any) (*Transfer
 func key(tr *Transfer) xferKey { return xferKey{tr.Src, tr.Dst, tr.Seq} }
 
 func (rel *Reliable) inject(tr *Transfer) error {
-	return rel.net.TryInject(&Packet{
+	var p *Packet
+	if n := len(rel.pktFree); n > 0 {
+		p = rel.pktFree[n-1]
+		rel.pktFree = rel.pktFree[:n-1]
+	} else {
+		p = &Packet{}
+	}
+	*p = Packet{
 		Src: tr.Src, Dst: tr.Dst,
 		NumFlits: tr.NumFlits,
 		Class:    tr.Class,
 		Payload:  tr,
-	})
+	}
+	if err := rel.net.TryInject(p); err != nil {
+		rel.pktFree = append(rel.pktFree, p)
+		return err
+	}
+	return nil
 }
 
 func (rel *Reliable) arm(tr *Transfer, deadline int64) {
 	tr.deadline = deadline
 	rel.order++
-	heap.Push(&rel.timers, timerItem{deadline: deadline, order: rel.order, key: key(tr)})
+	rel.timers.push(timerItem{deadline: deadline, order: rel.order, key: key(tr)})
 }
 
-// onPacket is the network's delivery callback: the implicit ack.
+// onPacket is the network's delivery callback: the implicit ack. The
+// delivered packet is recycled after the application callback returns, so
+// onDeliver must not retain its *Packet argument.
 func (rel *Reliable) onPacket(p *Packet) {
 	tr, ok := p.Payload.(*Transfer)
 	if !ok {
 		return // not a reliable transfer; ignore
 	}
+	defer func() { rel.pktFree = append(rel.pktFree, p) }()
 	delete(rel.pending, key(tr))
 	d := rel.recv[pairKey{tr.Src, tr.Dst}]
 	if d == nil {
@@ -256,8 +312,8 @@ func (rel *Reliable) onPacket(p *Packet) {
 func (rel *Reliable) Step() error {
 	err := rel.net.Step()
 	now := rel.net.Cycle()
-	for rel.timers.Len() > 0 && rel.timers[0].deadline <= now {
-		it := heap.Pop(&rel.timers).(timerItem)
+	for len(rel.timers) > 0 && rel.timers[0].deadline <= now {
+		it := rel.timers.pop()
 		tr, ok := rel.pending[it.key]
 		if !ok || tr.deadline != it.deadline {
 			continue // delivered, abandoned, or superseded by a later retry

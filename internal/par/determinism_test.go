@@ -1,0 +1,61 @@
+package par_test
+
+// The cross-package determinism property of the sharded tick: a real
+// network driven through ShardedTick-backed intra-cycle sharding must
+// produce bit-identical state at every worker count. This lives in an
+// external test package because noc imports par for the worker pool.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/traffic"
+)
+
+// fingerprintWorkers runs a fixed traffic scenario on the Diagonal+BL
+// layout (wide links, split-datapath allocator — the kernel's hardest
+// mode) with intra-cycle sharding at the given worker count and returns
+// the network fingerprint. workers = 0 is the sequential kernel.
+func fingerprintWorkers(t *testing.T, workers int) uint64 {
+	t.Helper()
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	net, err := l.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers > 0 {
+		net.SetShardWorkers(workers)
+		defer net.Close()
+	}
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.05}
+	rng := rand.New(rand.NewSource(99))
+	for cyc := 0; cyc < 3000; cyc++ {
+		for term := 0; term < 64; term++ {
+			if proc.Fire(term, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: term, Dst: gen.Dst(term, rng), NumFlits: 8})
+			}
+		}
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return net.Fingerprint()
+}
+
+// TestShardedTickDeterminism: 1, 2 and GOMAXPROCS workers must all produce
+// the network state the sequential kernel produces, bit for bit.
+func TestShardedTickDeterminism(t *testing.T) {
+	want := fingerprintWorkers(t, 0)
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		if got := fingerprintWorkers(t, w); got != want {
+			t.Errorf("%d workers: fingerprint %016x, sequential %016x", w, got, want)
+		}
+	}
+}

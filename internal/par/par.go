@@ -1,17 +1,30 @@
-// Package par provides the deterministic fan-out helper used by the
-// experiment sweeps and the design-space exploration. Every caller follows
-// the same contract: jobs are mutually independent (each builds its own
-// simulator with fixed seeds, so parallel execution cannot change any
-// simulated result), results come back in job order, and the reported error
-// is the one the equivalent sequential loop would have hit first. Under
-// that contract a parallel sweep is byte-identical to its sequential
+// Package par provides the deterministic fan-out helpers used by the
+// experiment sweeps, the design-space exploration and the sharded cycle
+// kernel. Every caller follows the same contract: jobs are mutually
+// independent (each builds its own simulator with fixed seeds, or touches
+// only the state it owns), results come back in job order, and the reported
+// error is the one the equivalent sequential loop would have hit first.
+// Under that contract a parallel sweep is byte-identical to its sequential
 // ancestor — only wall-clock time changes.
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// PanicError reports a job that panicked instead of returning. Map recovers
+// worker panics so one bad sweep point fails the batch with its index and
+// payload instead of killing the process with a bare goroutine stack.
+type PanicError struct {
+	Index int // the job index that panicked
+	Value any // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v", e.Index, e.Value)
+}
 
 // Map runs fn(0..n-1) on a bounded worker pool and returns the results in
 // index order. The pool size is GOMAXPROCS capped at n; indices are handed
@@ -19,6 +32,8 @@ import (
 // obvious one-goroutine-per-job form. If any job fails, Map returns the
 // error of the lowest failing index — exactly the error a sequential
 // for-loop that stops at the first failure would return — and no results.
+// A job that panics is reported the same way, as a *PanicError carrying the
+// failing index and the panic value.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -36,7 +51,7 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = runJob(i, fn)
 			}
 		}()
 	}
@@ -51,4 +66,128 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// runJob invokes one job with panic recovery; a panic becomes a *PanicError
+// so the error-ordering rule (lowest failing index wins) covers panics too.
+func runJob[T any](i int, fn func(i int) (T, error)) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v}
+		}
+	}()
+	return fn(i)
+}
+
+// Pool is a persistent set of worker goroutines for per-cycle sharding.
+// Unlike Map — which spawns goroutines per batch and is amortized over
+// multi-millisecond sweep jobs — a Pool is built once and reused every
+// simulated cycle, so a tick costs a handful of channel operations instead
+// of goroutine creation. The zero Pool is not usable; call NewPool.
+type Pool struct {
+	workers int
+	work    chan shardJob
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// shardJob is one shard of a tick: run fn over [lo,hi) as shard `shard`.
+type shardJob struct {
+	fn           func(shard, lo, hi int)
+	shard        int
+	lo, hi       int
+	done         *sync.WaitGroup
+	panicked     *panicBox
+	panickedOnce *sync.Once
+}
+
+// panicBox carries the first panic out of a tick back to the caller.
+type panicBox struct{ value any }
+
+// NewPool starts a pool of `workers` goroutines (minimum 1; values above
+// GOMAXPROCS are allowed but cannot add real parallelism). Close the pool
+// when the owning simulation is done with it.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, work: make(chan shardJob)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.work {
+				j.run()
+			}
+		}()
+	}
+	return p
+}
+
+func (j shardJob) run() {
+	defer func() {
+		if v := recover(); v != nil {
+			j.panickedOnce.Do(func() { j.panicked.value = v })
+		}
+		j.done.Done()
+	}()
+	j.fn(j.shard, j.lo, j.hi)
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the worker goroutines down. The pool must be idle (no
+// ShardedTick in flight). Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.work)
+	p.wg.Wait()
+}
+
+// ShardedTick partitions [0,n) into one contiguous span per worker and runs
+// fn(shard, lo, hi) for each span concurrently on the pool, blocking until
+// every span has completed. The partition depends only on n and the pool
+// size, and shard s always covers items before shard s+1, so a caller that
+// merges per-shard effects in shard order reproduces ascending item order
+// regardless of scheduling. fn must confine its writes to the items it was
+// handed (plus per-shard scratch); under that contract the merged state is
+// identical for every worker count, including 1. A panicking shard is
+// re-panicked on the caller's goroutine after all shards finish, so the
+// pool is never left with a wedged tick.
+func (p *Pool) ShardedTick(n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	shards := p.workers
+	if shards > n {
+		shards = n
+	}
+	if shards == 1 {
+		// Single shard: run inline, same code path as a worker would take.
+		fn(0, 0, n)
+		return
+	}
+	var done sync.WaitGroup
+	var once sync.Once
+	var pb panicBox
+	done.Add(shards)
+	span := n / shards
+	extra := n % shards // the first `extra` shards take one more item
+	lo := 0
+	for s := 0; s < shards; s++ {
+		hi := lo + span
+		if s < extra {
+			hi++
+		}
+		p.work <- shardJob{fn: fn, shard: s, lo: lo, hi: hi, done: &done, panicked: &pb, panickedOnce: &once}
+		lo = hi
+	}
+	done.Wait()
+	if pb.value != nil {
+		panic(pb.value)
+	}
 }

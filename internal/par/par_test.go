@@ -2,6 +2,8 @@ package par
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 )
@@ -58,5 +60,124 @@ func TestMapEmpty(t *testing.T) {
 	got, err := Map(0, func(int) (int, error) { return 1, nil })
 	if err != nil || got != nil {
 		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestMapErrorOrderingProperty: whatever random subset of jobs fails, Map
+// reports the error of the lowest failing index — exactly what a
+// sequential loop stopping at the first failure would have seen.
+func TestMapErrorOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(64)
+		fail := map[int]error{}
+		lowest := -1
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				fail[i] = fmt.Errorf("job %d failed", i)
+				if lowest < 0 {
+					lowest = i
+				}
+			}
+		}
+		_, err := Map(n, func(i int) (int, error) {
+			if e, ok := fail[i]; ok {
+				return 0, e
+			}
+			return i, nil
+		})
+		switch {
+		case lowest < 0 && err != nil:
+			t.Fatalf("trial %d: no job failed but Map returned %v", trial, err)
+		case lowest >= 0 && err != fail[lowest]:
+			t.Fatalf("trial %d: lowest failing index %d, Map returned %v", trial, lowest, err)
+		}
+	}
+}
+
+// TestMapPanicRecovery: a panicking job surfaces as a *PanicError naming
+// the failing index instead of killing the process.
+func TestMapPanicRecovery(t *testing.T) {
+	_, err := Map(16, func(i int) (int, error) {
+		if i == 11 {
+			panic("sweep point exploded")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Index != 11 || pe.Value != "sweep point exploded" {
+		t.Fatalf("PanicError = {Index: %d, Value: %v}, want index 11", pe.Index, pe.Value)
+	}
+}
+
+// TestMapPanicOrdering: panics obey the same lowest-index-wins rule as
+// errors, and mixed failures compare by index, not kind.
+func TestMapPanicOrdering(t *testing.T) {
+	sentinel := errors.New("regular failure")
+	_, err := Map(32, func(i int) (int, error) {
+		switch i {
+		case 9:
+			panic("first failure")
+		case 20:
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 9 {
+		t.Fatalf("want panic at index 9 to win, got %v", err)
+	}
+}
+
+// TestShardedTickPartition: every item of [0,n) is covered exactly once,
+// shards are contiguous ascending spans, and no shard is empty.
+func TestShardedTickPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 65} {
+			covered := make([]int32, n)
+			p.ShardedTick(n, func(shard, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty shard %d [%d,%d)", workers, n, shard, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: item %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+// TestShardedTickPanic: a panicking shard propagates to the caller after
+// the tick joins, and the pool stays usable afterwards.
+func TestShardedTickPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shard panic did not propagate")
+			}
+		}()
+		p.ShardedTick(8, func(shard, lo, hi int) {
+			if lo == 0 {
+				panic("shard blew up")
+			}
+		})
+	}()
+	var ran atomic.Int32
+	p.ShardedTick(4, func(shard, lo, hi int) { ran.Add(int32(hi - lo)) })
+	if ran.Load() != 4 {
+		t.Fatalf("pool wedged after panic: %d/4 items ran", ran.Load())
 	}
 }

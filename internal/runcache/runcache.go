@@ -1,0 +1,107 @@
+// Package runcache memoizes completed simulation runs within one process.
+//
+// Figure sweeps and the design-space exploration repeatedly evaluate the
+// same (layout, traffic, seed, budget) recipe: Fig10's mesh columns are
+// exactly the Fig11/Fig12 baseline and Diagonal+BL jobs, Fig13's reference
+// configuration repeats Fig10's baseline runs, and a re-invoked experiment
+// re-prices every point it already measured. Every run in this simulator
+// is deterministic — a fixed seed and a fixed configuration produce
+// bit-identical results — so a completed run can be reused wherever the
+// same recipe appears.
+//
+// The cache is content-addressed: callers build a canonical key string
+// containing every input that influences the result (the layout's full
+// spec, the traffic pattern, the injection rate, flit counts, seeds and
+// cycle budgets — see experiments and dse for the key formats). Entries
+// are process-global and never evicted; a full `-scale full` regeneration
+// holds a few hundred results, each a few kilobytes.
+//
+// Do has singleflight semantics: concurrent callers of the same key (the
+// sweeps fan out on the par worker pool) run the recipe once and share the
+// result. Cached values are returned by reference where they contain
+// slices or maps; callers must treat results as immutable, which every
+// experiment already does.
+//
+// Disable with SetEnabled(false) (the -nocache flag of cmd/experiments):
+// every Do then runs its function directly. Because runs are
+// deterministic, outputs are identical either way — a property pinned by
+// TestRunCacheTransparent in the experiments package.
+package runcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one memoized run. once guards the single execution; val/err
+// hold the outcome for later hitters.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+var (
+	mu      sync.Mutex
+	entries = map[string]*entry{}
+	enabled atomic.Bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+)
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns the cache on or off globally. Turning it off does not
+// drop existing entries; use Reset for that.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether lookups are active.
+func Enabled() bool { return enabled.Load() }
+
+// Reset drops all entries and zeroes the hit/miss counters (tests).
+func Reset() {
+	mu.Lock()
+	entries = map[string]*entry{}
+	mu.Unlock()
+	hits.Store(0)
+	misses.Store(0)
+}
+
+// Stats returns the cumulative hit and miss counts. A hit is a Do call
+// that found an existing entry (including one still being computed by a
+// concurrent caller); a miss executed the function.
+func Stats() (hit, miss int64) { return hits.Load(), misses.Load() }
+
+// Do returns the memoized result for key, running fn exactly once per key
+// across all goroutines. With the cache disabled it runs fn directly.
+func Do(key string, fn func() (any, error)) (any, error) {
+	if !enabled.Load() {
+		misses.Add(1)
+		return fn()
+	}
+	mu.Lock()
+	e, ok := entries[key]
+	if !ok {
+		e = &entry{}
+		entries[key] = e
+	}
+	mu.Unlock()
+	if ok {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// For runs fn through the cache with a typed result.
+func For[T any](key string, fn func() (T, error)) (T, error) {
+	v, err := Do(key, func() (any, error) { return fn() })
+	if v == nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), err
+}

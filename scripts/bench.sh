@@ -3,12 +3,18 @@
 #
 # Runs every benchmark in the repo root (BenchmarkNetworkCycle,
 # BenchmarkHeteroNetworkCycle, BenchmarkCMPCycle, ...) with -benchmem and
-# -count 5, keeps the raw `go test` output next to the JSON, and distills
-# the per-benchmark medians into BENCH_noc.json so kernel-performance PRs
-# can diff before/after numbers mechanically. The fault-injection sweep
-# (BenchmarkFaultSweep: the full degradation experiment at bench scale)
-# is additionally surfaced as a top-level "fault_sweep_ns_per_op" field so
-# fault-stack regressions are one jq expression away.
+# -count 5, appends the raw `go test` output (under a dated header) to
+# BENCH_noc.txt, and appends the per-benchmark medians as one dated entry
+# to the BENCH_noc.json history — so the performance trajectory across
+# commits stays visible instead of each run overwriting the last. The
+# fault-injection sweep (BenchmarkFaultSweep: the full degradation
+# experiment at bench scale) is additionally surfaced as a per-entry
+# "fault_sweep_ns_per_op" field so fault-stack regressions are one jq
+# expression away (`jq '.[-1].fault_sweep_ns_per_op' BENCH_noc.json`).
+#
+# BENCH_noc.json is a JSON array, oldest entry first, one compact object
+# per line. A legacy single-object file (the pre-history format) is folded
+# in as the first entry on the next run.
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_noc.json)
 set -eu
@@ -17,10 +23,21 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_noc.json}
 raw=${out%.json}.txt
 
-go test -run '^$' -bench . -benchmem -count 5 . | tee "$raw"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+run=$(mktemp)
+trap 'rm -f "$run"' EXIT
+
+go test -run '^$' -bench . -benchmem -count 5 . | tee "$run"
+
+{
+	echo "### $date commit $commit"
+	cat "$run"
+	echo
+} >> "$raw"
+
+entry=$(awk -v commit="$commit" -v date="$date" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
@@ -43,16 +60,38 @@ function asort_simple(v, m,   i, j, t) {
 		}
 }
 END {
-	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+	printf "{\"commit\": \"%s\", \"date\": \"%s\", ", commit, date
 	if ("BenchmarkFaultSweep" in ns)
-		printf "  \"fault_sweep_ns_per_op\": %g,\n", median(ns["BenchmarkFaultSweep"])
-	printf "  \"benchmarks\": [\n"
+		printf "\"fault_sweep_ns_per_op\": %g, ", median(ns["BenchmarkFaultSweep"])
+	printf "\"benchmarks\": ["
 	for (i = 1; i <= n; i++) {
 		nm = order[i]
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}%s\n", \
-			nm, median(ns[nm]), median(b[nm]), median(a[nm]), (i < n) ? "," : ""
+		printf "{\"name\": \"%s\", \"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}%s", \
+			nm, median(ns[nm]), median(b[nm]), median(a[nm]), (i < n) ? ", " : ""
 	}
-	printf "  ]\n}\n"
-}' "$raw" > "$out"
+	printf "]}\n"
+}' "$run")
 
-echo "wrote $raw and $out" >&2
+tmp=$(mktemp)
+if [ -s "$out" ]; then
+	case "$(head -c 1 "$out")" in
+	"[")
+		# Existing history: reopen it and append this run.
+		{ sed '$d' "$out" | sed '$s/$/,/'; printf '%s\n]\n' "$entry"; } > "$tmp"
+		;;
+	*)
+		# Legacy single-object file: fold it in as the first history entry.
+		{
+			echo "["
+			tr '\n' ' ' < "$out" | sed -e 's/[[:space:]]\{2,\}/ /g' -e 's/[[:space:]]*$/,/'
+			echo
+			printf '%s\n]\n' "$entry"
+		} > "$tmp"
+		;;
+	esac
+else
+	printf '[\n%s\n]\n' "$entry" > "$tmp"
+fi
+mv "$tmp" "$out"
+
+echo "appended to $raw and $out" >&2
