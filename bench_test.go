@@ -17,6 +17,7 @@ import (
 	"heteronoc/internal/experiments"
 	"heteronoc/internal/fault"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/obs"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/topology"
 	"heteronoc/internal/trace"
@@ -122,6 +123,68 @@ func BenchmarkHeteroNetworkCycle(b *testing.B) {
 		if err := net.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNetworkCycleTraced is BenchmarkNetworkCycle with a full-detail
+// flit tracer installed (macro + VC/SA/credit events into per-router
+// rings). The delta against BenchmarkNetworkCycle is the cost of tracing a
+// run; scripts/bench.sh records it as tracer_overhead_pct.
+func BenchmarkNetworkCycleTraced(b *testing.B) {
+	l := core.NewBaseline(8, 8)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetTracer(noc.NewNetworkFlitTracer(net, noc.FlitTracerConfig{}))
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkCycleSampled is BenchmarkNetworkCycle with the metrics
+// registry populated and a per-router time-series sampler attached at the
+// default stride — the steady-state cost of leaving observability on
+// (pull-based metrics cost nothing between scrapes; the sampler adds one
+// per-cycle hook plus a sample every 1000 cycles). scripts/bench.sh
+// records the delta as metrics_overhead_pct.
+func BenchmarkNetworkCycleSampled(b *testing.B) {
+	l := core.NewBaseline(8, 8)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	net.RegisterMetrics(reg)
+	noc.NewSampler(net, noc.SampleConfig{PerRouter: true}).Attach()
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := obs.ValidatePrometheusText(string(reg.Exposition())); err != nil {
+		b.Fatal(err)
 	}
 }
 

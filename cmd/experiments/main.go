@@ -4,10 +4,14 @@
 //
 //	experiments [-exp all|fig1|fig2|table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|dse]
 //	            [-scale quick|full] [-out results.md] [-nocache]
+//	            [-manifest run.manifest.json] [-obs :6060]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Each experiment prints a markdown report with the regenerated data and
-// the headline metrics compared in EXPERIMENTS.md.
+// the headline metrics compared in EXPERIMENTS.md. Every run also writes a
+// provenance manifest (config hash, per-experiment result fingerprints,
+// run-cache statistics) next to the results; -obs serves live /metrics,
+// /healthz and pprof endpoints while the run is in flight.
 package main
 
 import (
@@ -17,9 +21,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"heteronoc/internal/experiments"
+	"heteronoc/internal/obs"
 	"heteronoc/internal/prof"
 	"heteronoc/internal/runcache"
 )
@@ -34,6 +40,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	noCache := flag.Bool("nocache", false, "disable the in-process run cache (every probe re-simulates)")
+	manifestOut := flag.String("manifest", "", "run-manifest path (default: <out>.manifest.json, or experiments.manifest.json; 'none' disables)")
+	obsAddr := flag.String("obs", "", "serve live introspection (/metrics, /healthz, pprof) on this address, e.g. :6060")
 	flag.Parse()
 
 	runcache.SetEnabled(!*noCache)
@@ -85,8 +93,40 @@ func main() {
 		}
 	}
 
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+	}
+	runStart := time.Now()
+	var completed atomic.Int64
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		runcache.RegisterMetrics(reg)
+		reg.RegisterGauge("experiments_total", "experiments requested", nil,
+			func() float64 { return float64(len(ids)) })
+		reg.RegisterGauge("experiments_completed", "experiments finished so far", nil,
+			func() float64 { return float64(completed.Load()) })
+		// Progress for the stall watchdog: cache traffic moves on every
+		// simulated probe, so hits+misses advances even inside one long
+		// experiment.
+		srv, err := obs.StartServer(*obsAddr, obs.ServerConfig{
+			Metrics: reg.Exposition,
+			Progress: func() int64 {
+				hit, miss := runcache.Stats()
+				return hit + miss + completed.Load()
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", srv.Addr())
+	}
+
 	var b strings.Builder
 	metrics := map[string]map[string]float64{}
+	fingerprints := map[string]string{}
 	fmt.Fprintf(&b, "# HeteroNoC experiment results (scale: %s)\n\n", sc.Name)
 	for _, r := range runners {
 		start := time.Now()
@@ -102,6 +142,8 @@ func main() {
 			time.Since(start).Seconds(), hit1-hit0, miss1-miss0)
 		b.WriteString(rep.Markdown())
 		metrics[rep.ID] = rep.Metrics
+		fingerprints[rep.ID] = rep.Fingerprint()
+		completed.Add(1)
 		if *figdir != "" {
 			if err := os.MkdirAll(*figdir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -120,6 +162,31 @@ func main() {
 
 	if hit, miss := runcache.Stats(); hit+miss > 0 {
 		fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses (%d runs reused)\n", hit, miss, hit)
+	}
+
+	if *manifestOut != "none" {
+		path := *manifestOut
+		if path == "" {
+			path = "experiments.manifest.json"
+			if *out != "" {
+				path = *out + ".manifest.json"
+			}
+		}
+		hit, miss := runcache.Stats()
+		m := &obs.Manifest{
+			Tool:         "experiments",
+			ConfigHash:   experiments.ConfigHash(ids, sc),
+			Scale:        sc.Name,
+			Experiments:  ids,
+			Fingerprints: fingerprints,
+			RuncacheHits: hit, RuncacheMisses: miss,
+			WallTimeSec: time.Since(runStart).Seconds(),
+		}
+		if err := m.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (run %s)\n", path, m.Hash())
 	}
 
 	if *jsonOut != "" {

@@ -3,12 +3,19 @@
 // Usage:
 //
 //	heatmap [-topo mesh|cmesh|fbfly] [-rate 0.06] [-packets 50000]
+//	        [-timeseries ts.csv] [-stride 500]
+//
+// -timeseries additionally samples per-router buffer occupancy and link
+// utilization every -stride cycles during the run and writes the windowed
+// time series (CSV for a .csv path, JSON otherwise) — the raw material for
+// animating the heat map over time rather than averaging the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"heteronoc/internal/noc"
 	"heteronoc/internal/plot"
@@ -23,6 +30,8 @@ func main() {
 	rate := flag.Float64("rate", 0.06, "injection rate in packets/node/cycle")
 	packets := flag.Int("packets", 50000, "measured packets")
 	svgPath := flag.String("svg", "", "also write the buffer-utilization map as an SVG file")
+	tsPath := flag.String("timeseries", "", "write a per-router occupancy/utilization time series to this file (.csv for CSV, else JSON)")
+	stride := flag.Int64("stride", 500, "time-series sampling stride in cycles")
 	flag.Parse()
 
 	var topo topology.Topology
@@ -53,6 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var sampler *noc.Sampler
+	if *tsPath != "" {
+		sampler = noc.NewSampler(net, noc.SampleConfig{Stride: *stride, PerRouter: true})
+		sampler.Attach()
+	}
 	res, err := traffic.Run(net, traffic.RunConfig{
 		Pattern:        traffic.UniformRandom{N: topo.NumTerminals()},
 		Process:        traffic.Bernoulli{P: *rate},
@@ -80,5 +94,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if sampler != nil {
+		f, err := os.Create(*tsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ts := sampler.Series()
+		if strings.HasSuffix(*tsPath, ".csv") {
+			err = ts.WriteCSV(f)
+		} else {
+			err = ts.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d samples, %d columns)\n", *tsPath, len(ts.Cycles), len(ts.Columns))
 	}
 }

@@ -7,18 +7,31 @@
 //	       [-pattern ur|nn|transpose|bitcomp] [-rate 0.02] [-selfsimilar]
 //	       [-torus] [-warmup 1000] [-packets 100000] [-seed 42]
 //	       [-sweep lo:hi:step] [-csv]
+//	       [-obs :6060] [-stride 1000] [-timeseries ts.json] [-manifest run.json]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -sweep, the single measurement is replaced by a load sweep and one
 // result line per injection rate; -csv emits machine-readable output.
+//
+// -obs serves live introspection while the simulation runs: /metrics
+// (Prometheus text, re-rendered every -stride cycles), /timeseries (the
+// sampler's windowed series), /healthz (with a stalled-router dump when
+// cycle progress freezes) and net/http/pprof. -timeseries writes the final
+// series to a file (.csv by extension, JSON otherwise); -manifest records
+// run provenance including a per-rate state fingerprint.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/obs"
 	"heteronoc/internal/power"
 	"heteronoc/internal/prof"
 	"heteronoc/internal/stats"
@@ -43,6 +56,10 @@ func main() {
 	sweep := flag.String("sweep", "", "sweep injection rates lo:hi:step instead of a single -rate run")
 	csvOut := flag.Bool("csv", false, "emit CSV (rate,latency_cycles,latency_ns,accepted,saturated,power_w,combine)")
 	show := flag.Bool("show", false, "print the router placement map before running")
+	obsAddr := flag.String("obs", "", "serve live introspection (/metrics, /timeseries, /healthz, pprof) on this address")
+	stride := flag.Int64("stride", 1000, "sampling window in cycles for -obs/-timeseries")
+	tsOut := flag.String("timeseries", "", "write the sampled time series to this file (.csv or JSON)")
+	manifestOut := flag.String("manifest", "", "write a run-provenance manifest to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -103,21 +120,121 @@ func main() {
 			rates = append(rates, v)
 		}
 	}
+	var ob *obsState
+	if *obsAddr != "" || *tsOut != "" {
+		ob = &obsState{stride: *stride, tsPath: *tsOut}
+		if *stride <= 0 {
+			ob.stride = 1000
+		}
+		if *obsAddr != "" {
+			srv, err := obs.StartServer(*obsAddr, obs.ServerConfig{
+				Metrics:    ob.snap.Metrics,
+				TimeSeries: ob.snap.TimeSeries,
+				Progress:   ob.snap.Cycle,
+				StallDump: func() string {
+					if net := ob.net.Load(); net != nil {
+						return net.StalledDump(4)
+					}
+					return ""
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", srv.Addr())
+		}
+	}
 	if *csvOut {
 		fmt.Println("rate,latency_cycles,latency_ns,accepted,saturated,power_w,combine")
 	}
+	start := time.Now()
+	fingerprints := map[string]string{}
 	for _, rt := range rates {
-		runOnce(l, pattern, rt, *selfSim, *warmup, *packets, *seed, *csvOut || *sweep != "", *csvOut)
+		fp := runOnce(l, pattern, rt, *selfSim, *warmup, *packets, *seed, *csvOut || *sweep != "", *csvOut, ob)
+		fingerprints[fmt.Sprintf("rate=%.4f", rt)] = fp
+	}
+	if *manifestOut != "" {
+		m := &obs.Manifest{
+			Tool:       "noxsim",
+			ConfigHash: configHash(l, *patternName, *selfSim, *warmup, *packets, *seed, rates),
+			Layout:     l.Name,
+			Seeds:      []int64{*seed},
+			Fingerprints: fingerprints,
+			WallTimeSec:  time.Since(start).Seconds(),
+		}
+		if err := m.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (run %s)\n", *manifestOut, m.Hash())
 	}
 }
 
-// runOnce measures one operating point and prints it.
+// obsState is the shared plumbing between the sweep loop and the live
+// introspection server: the latest network (for stall dumps) and the cached
+// exposition snapshot the HTTP goroutine reads.
+type obsState struct {
+	snap   obs.Snapshot
+	net    atomic.Pointer[noc.Network]
+	stride int64
+	tsPath string
+}
+
+// configHash content-addresses a noxsim invocation.
+func configHash(l core.Layout, pattern string, selfSim bool, warmup, packets int, seed int64, rates []float64) string {
+	parts := []string{"noxsim/v1", l.Name, l.Mesh.Name(), pattern,
+		fmt.Sprint(selfSim), fmt.Sprint(warmup), fmt.Sprint(packets), fmt.Sprint(seed)}
+	for _, r := range rates {
+		parts = append(parts, fmt.Sprintf("%.6f", r))
+	}
+	return fmt.Sprintf("%016x", obs.HashStrings(parts...))
+}
+
+// runOnce measures one operating point, prints it, and returns the
+// network-state fingerprint of the run.
 func runOnce(l core.Layout, pattern traffic.Pattern, rate float64, selfSim bool,
-	warmup, packets int, seed int64, brief, csvOut bool) {
+	warmup, packets int, seed int64, brief, csvOut bool, ob *obsState) string {
 	net, err := l.Network()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if ob != nil {
+		ob.net.Store(net)
+		reg := obs.NewRegistry()
+		net.RegisterMetrics(reg)
+		sampler := noc.NewSampler(net, noc.SampleConfig{Stride: ob.stride, PerRouter: true})
+		net.SetOnCycle(func(c int64) {
+			sampler.Tick(c)
+			if c%ob.stride == 0 {
+				// Render the exposition on the simulation thread; the HTTP
+				// goroutine only ever reads the snapshot's cached bytes.
+				ob.snap.Update(c, reg, sampler.Series())
+			}
+		})
+		defer func() {
+			if ob.tsPath == "" {
+				return
+			}
+			f, err := os.Create(ob.tsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if strings.HasSuffix(ob.tsPath, ".csv") {
+				err = sampler.Series().WriteCSV(f)
+			} else {
+				err = sampler.Series().WriteJSON(f)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", ob.tsPath, sampler.Series().Len())
+		}()
 	}
 	var proc traffic.Process
 	if selfSim {
@@ -137,16 +254,17 @@ func runOnce(l core.Layout, pattern traffic.Pattern, rate float64, selfSim bool,
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fp := fmt.Sprintf("%016x", net.Fingerprint())
 	pw := power.Network(power.NewModel(), l, res.Activity)
 	if csvOut {
 		fmt.Printf("%.4f,%.2f,%.2f,%.4f,%v,%.2f,%.3f\n",
 			rate, res.AvgLatency, res.AvgLatency/l.FreqGHz(), res.AcceptedRate, res.Saturated, pw.Total(), res.CombineRate)
-		return
+		return fp
 	}
 	if brief {
 		fmt.Printf("rate=%.4f latency=%.1fcyc (%.1fns) accepted=%.4f sat=%v power=%.1fW\n",
 			rate, res.AvgLatency, res.AvgLatency/l.FreqGHz(), res.AcceptedRate, res.Saturated, pw.Total())
-		return
+		return fp
 	}
 	fmt.Printf("layout         %s (%s, %.2f GHz, %d-flit data packets)\n",
 		l.Name, l.Mesh.Name(), l.FreqGHz(), l.DataPacketFlits())
@@ -168,4 +286,5 @@ func runOnce(l core.Layout, pattern traffic.Pattern, rate float64, selfSim bool,
 		util.Add(a.LinkUtil)
 	}
 	fmt.Printf("link util      mean %.1f%%, max %.1f%%\n", 100*util.Mean(), 100*util.Max())
+	return fp
 }

@@ -4,19 +4,33 @@
 // users who want to replay their own memory traces through the CMP
 // simulator (see internal/trace.FileReader).
 //
+// It also handles the binary flit-trace format produced by noc.FlitTracer:
+// nocrec records a traced mesh run, nocinfo summarizes a trace file, and
+// nocexport converts one to Chrome trace-event JSON for Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
 // Usage:
 //
 //	tracetool gen  -bench SPECjbb -core 0 -n 100000 -out jbb0.trc
 //	tracetool info -in jbb0.trc
 //	tracetool head -in jbb0.trc -n 20
+//	tracetool nocrec    -packets 2000 -rate 0.06 -out run.flt
+//	tracetool nocinfo   -in run.flt
+//	tracetool nocexport -in run.flt -out run.trace.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"heteronoc/internal/noc"
+	"heteronoc/internal/obs"
+	"heteronoc/internal/routing"
+	"heteronoc/internal/topology"
 	"heteronoc/internal/trace"
+	"heteronoc/internal/traffic"
 )
 
 func main() {
@@ -30,13 +44,19 @@ func main() {
 		info(os.Args[2:])
 	case "head":
 		head(os.Args[2:])
+	case "nocrec":
+		nocrec(os.Args[2:])
+	case "nocinfo":
+		nocinfo(os.Args[2:])
+	case "nocexport":
+		nocexport(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool gen|info|head [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool gen|info|head|nocrec|nocinfo|nocexport [flags]")
 	os.Exit(2)
 }
 
@@ -124,4 +144,139 @@ func head(args []string) {
 		}
 		fmt.Printf("%6d: gap=%-4d %s %#x\n", i, e.Gap, op, e.Addr)
 	}
+}
+
+func nocrec(args []string) {
+	fs := flag.NewFlagSet("nocrec", flag.ExitOnError)
+	side := fs.Int("mesh", 4, "mesh side length (side x side routers)")
+	rate := fs.Float64("rate", 0.06, "injection rate in packets/node/cycle")
+	packets := fs.Int("packets", 2000, "measured packets")
+	ring := fs.Int("ring", 4096, "per-router ring capacity in records")
+	macroOnly := fs.Bool("macro", false, "capture only packet life-cycle events (no VC/SA/credit detail)")
+	seed := fs.Int64("seed", 42, "traffic seed")
+	out := fs.String("out", "", "output flit-trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "nocrec: -out is required")
+		os.Exit(2)
+	}
+	m := topology.NewMesh(*side, *side)
+	net, err := noc.New(noc.Config{
+		Topo:           m,
+		Routing:        routing.NewXY(m),
+		Routers:        []noc.RouterConfig{{VCs: 3, BufDepth: 5}},
+		FlitWidthBits:  192,
+		WatchdogCycles: 100000,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ft := noc.NewNetworkFlitTracer(net, noc.FlitTracerConfig{PerRouter: *ring, MacroOnly: *macroOnly})
+	net.SetTracer(ft)
+	if _, err := traffic.Run(net, traffic.RunConfig{
+		Pattern:        traffic.UniformRandom{N: m.NumTerminals()},
+		Process:        traffic.Bernoulli{P: *rate},
+		DataFlits:      6,
+		WarmupPackets:  *packets / 10,
+		MeasurePackets: *packets,
+		Seed:           *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	err = ft.WriteBinary(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s (%d overwritten in ring)\n", ft.Len(), *out, ft.Dropped())
+}
+
+func openFlitTrace(path string) *noc.FlitTrace {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := noc.ReadFlitTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+func nocinfo(args []string) {
+	fs := flag.NewFlagSet("nocinfo", flag.ExitOnError)
+	in := fs.String("in", "", "flit-trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "nocinfo: -in is required")
+		os.Exit(2)
+	}
+	tr := openFlitTrace(*in)
+	fmt.Printf("routers  %d\n", tr.NumRouters)
+	fmt.Printf("records  %d\n", len(tr.Records))
+	if len(tr.Records) == 0 {
+		return
+	}
+	minCycle, maxCycle := tr.Records[0].Cycle, tr.Records[0].Cycle
+	kinds := map[noc.EventKind]int{}
+	packets := map[uint64]bool{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Cycle < minCycle {
+			minCycle = r.Cycle
+		}
+		if r.Cycle > maxCycle {
+			maxCycle = r.Cycle
+		}
+		kinds[r.Kind]++
+		packets[r.Packet] = true
+	}
+	fmt.Printf("cycles   %d..%d\n", minCycle, maxCycle)
+	fmt.Printf("packets  %d distinct\n", len(packets))
+	for k := noc.EventKind(0); k < 32; k++ {
+		if n, ok := kinds[k]; ok {
+			fmt.Printf("  %-12s %d\n", k, n)
+		}
+	}
+}
+
+func nocexport(args []string) {
+	fs := flag.NewFlagSet("nocexport", flag.ExitOnError)
+	in := fs.String("in", "", "flit-trace file (required)")
+	out := fs.String("out", "", "Chrome trace-event JSON output (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "nocexport: -in and -out are required")
+		os.Exit(2)
+	}
+	tr := openFlitTrace(*in)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nEvents, err := obs.ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocexport: generated trace failed validation:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d records, %d events; open in ui.perfetto.dev)\n",
+		*out, len(tr.Records), nEvents)
 }

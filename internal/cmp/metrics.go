@@ -1,0 +1,58 @@
+package cmp
+
+import "heteronoc/internal/obs"
+
+// RegisterMetrics registers the CMP system's counters and gauges in reg and
+// delegates to the underlying network's RegisterMetrics, so one registry
+// exposes the full stack: cores, caches, memory controllers and the NoC.
+// All instruments are pull-based closures over live simulator state; read
+// them between Steps (or serve cached expositions via obs.Snapshot).
+func (s *System) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	s.Net.RegisterMetrics(reg, labels...)
+
+	reg.RegisterGauge("cmp_cycle", "current core cycle", labels,
+		func() float64 { return float64(s.now) })
+	reg.RegisterGauge("cmp_avg_ipc", "mean per-core IPC", labels, s.AvgIPC)
+
+	tileSum := func(f func(t *Tile) int64) func() float64 {
+		return func() float64 {
+			var sum int64
+			for _, t := range s.Tiles {
+				sum += f(t)
+			}
+			return float64(sum)
+		}
+	}
+	reg.RegisterCounter("cmp_instructions_total", "instructions retired across cores", labels,
+		tileSum(func(t *Tile) int64 { return t.Core.Insts }))
+	reg.RegisterCounter("cmp_core_stall_cycles_total", "cycles cores spent stalled on misses", labels,
+		tileSum(func(t *Tile) int64 { return t.Core.StallCycles }))
+	reg.RegisterCounter("cmp_l1_hits_total", "L1 hits", labels,
+		tileSum(func(t *Tile) int64 { return t.L1.Hits }))
+	reg.RegisterCounter("cmp_l1_misses_total", "L1 misses", labels,
+		tileSum(func(t *Tile) int64 { return t.L1.Misses }))
+	reg.RegisterCounter("cmp_l2_hits_total", "L2 bank hits", labels,
+		tileSum(func(t *Tile) int64 { return t.Home.L2Hits }))
+	reg.RegisterCounter("cmp_l2_misses_total", "L2 bank misses", labels,
+		tileSum(func(t *Tile) int64 { return t.Home.L2Misses }))
+
+	mcSum := func(f func(reads, writes int64) int64) func() float64 {
+		return func() float64 {
+			var sum int64
+			for _, t := range s.mcOrder {
+				mc := s.MCs[t]
+				sum += f(mc.Reads, mc.Writes)
+			}
+			return float64(sum)
+		}
+	}
+	reg.RegisterCounter("cmp_mem_reads_total", "memory-controller reads", labels,
+		mcSum(func(r, w int64) int64 { return r }))
+	reg.RegisterCounter("cmp_mem_writes_total", "memory-controller writes", labels,
+		mcSum(func(r, w int64) int64 { return w }))
+
+	reg.RegisterGauge("cmp_miss_rtt_cycles_mean", "mean L1-miss round-trip latency", labels,
+		func() float64 { rtt := s.MissRTT(); return rtt.Mean() })
+	reg.RegisterGauge("cmp_mc_req_latency_cycles_mean", "mean core-to-MC network latency", labels,
+		func() float64 { return s.MCReqLatency.Mean() })
+}

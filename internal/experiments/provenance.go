@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"heteronoc/internal/obs"
+)
+
+// ConfigHash content-addresses an experiment recipe: the ordered experiment
+// id list plus every Scale parameter. Two invocations with the same hash run
+// the same simulations with the same seeds (seeds are derived
+// deterministically from the recipe inside each experiment), so their
+// results — and their manifests modulo wall time — are identical.
+func ConfigHash(ids []string, sc Scale) string {
+	parts := append([]string{"experiments/v1"}, ids...)
+	parts = append(parts, sc.Name,
+		strconv.Itoa(sc.WarmupPackets), strconv.Itoa(sc.MeasurePackets),
+		strconv.Itoa(sc.SweepPoints),
+		strconv.Itoa(sc.CMPWarmupEntries), strconv.FormatInt(sc.CMPCycles, 10),
+		strconv.Itoa(sc.DSEPackets), strconv.Itoa(sc.DSECandidates))
+	return fmt.Sprintf("%016x", obs.HashStrings(parts...))
+}
+
+// Fingerprint hashes the report's full metric map (keys and exact float
+// bit patterns) into a compact result identity. Deterministic runs produce
+// identical fingerprints; any metric drift changes the hash.
+func (r *Report) Fingerprint() string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, 2*len(keys)+1)
+	parts = append(parts, r.ID)
+	for _, k := range keys {
+		parts = append(parts, k, strconv.FormatFloat(r.Metrics[k], 'x', -1, 64))
+	}
+	return fmt.Sprintf("%016x", obs.HashStrings(parts...))
+}

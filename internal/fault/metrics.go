@@ -1,0 +1,27 @@
+package fault
+
+import "heteronoc/internal/obs"
+
+// RegisterMetrics registers the plan's composition in reg: one
+// fault_plan_events gauge per fault kind plus the total. Plans are static
+// once a run starts, so these read as constants; the live strike progress
+// (events applied so far) is exposed by the consuming network as
+// noc_fault_events_applied.
+func (p *Plan) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterGauge("fault_plan_size", "scheduled fault events", labels,
+		func() float64 { return float64(len(p.events)) })
+	for _, k := range []Kind{LinkFail, RouterFail, Transient} {
+		k := k
+		kl := append(append([]obs.Label(nil), labels...), obs.L("kind", k.String()))
+		reg.RegisterGauge("fault_plan_events", "scheduled fault events by kind", kl,
+			func() float64 {
+				n := 0
+				for _, e := range p.events {
+					if e.Kind == k {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+}

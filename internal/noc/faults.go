@@ -453,6 +453,11 @@ func headerChecksum(f *Flit) uint16 {
 	return uint16(h ^ h>>16 ^ h>>32 ^ h>>48)
 }
 
+// StalledDump renders the state of up to maxRouters routers still holding
+// flits. It backs the deadlock watchdog's error message and the /healthz
+// stall report of the live-introspection server.
+func (n *Network) StalledDump(maxRouters int) string { return n.stalledDump(maxRouters) }
+
 // stalledDump renders the state of up to maxRouters routers still holding
 // flits, for the deadlock watchdog's error message.
 func (n *Network) stalledDump(maxRouters int) string {

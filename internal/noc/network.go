@@ -70,7 +70,9 @@ type Network struct {
 
 	onPacket func(*Packet)
 	onDrop   func(*Packet, DropReason)
+	onCycle  func(cycle int64)
 	tracer   Tracer
+	detail   DetailTracer
 	stats    Stats
 
 	// Intra-cycle sharding (see shard.go). directFx is the always-present
@@ -189,7 +191,6 @@ func New(cfg Config) (*Network, error) {
 		q.up.creditQ.buf = make([]creditEvt, 4)
 		n.routers[r].in[p].upstream = &q.up
 	}
-	n.stats.init(len(n.routers))
 	n.directFx = tickFx{n: n, direct: true}
 	if cfg.ShardWorkers > 0 {
 		n.SetShardWorkers(cfg.ShardWorkers)
@@ -205,6 +206,12 @@ func (n *Network) SetOnPacket(fn func(*Packet)) { n.onPacket = fn }
 // network after a fault destroyed one of its flits or severed its route.
 // The reliability layer uses it for accounting; recovery is timer driven.
 func (n *Network) SetOnDrop(fn func(*Packet, DropReason)) { n.onDrop = fn }
+
+// SetOnCycle registers a callback invoked at the end of every successful
+// Step, after all per-cycle statistics have been accumulated. The sampler
+// (sample.go) and live-introspection snapshots hang off this hook; when nil
+// the hot path pays one branch per cycle.
+func (n *Network) SetOnCycle(fn func(cycle int64)) { n.onCycle = fn }
 
 // Config returns the network configuration (read-only).
 func (n *Network) Config() *Config { return &n.cfg }
@@ -284,6 +291,9 @@ func (n *Network) Step() error {
 		n.switchAllocate(0, len(n.routers), &n.directFx)
 	}
 	n.accumulate()
+	if n.onCycle != nil {
+		n.onCycle(n.cycle)
+	}
 	if w := n.cfg.WatchdogCycles; w > 0 && n.flitsInNetwork > 0 && n.cycle-n.lastMove > int64(w) {
 		return fmt.Errorf("noc: deadlock watchdog: no flit moved for %d cycles at cycle %d (%d flits in flight)\n%s",
 			w, n.cycle, n.flitsInNetwork, n.stalledDump(4))
@@ -575,6 +585,10 @@ func (n *Network) routeAndAllocate(lo, hi int, fx *tickFx) {
 						vc.waitCycles = 0
 						ip.raMask &^= 1 << vi
 						ip.saMask |= 1 << vi
+						if n.detail != nil {
+							n.detail.DetailEvent(Event{Cycle: n.cycle, Kind: EvVCAlloc,
+								Packet: p.ID, Router: r, Port: vc.outPort, VC: int16(ovc)})
+						}
 						continue
 					}
 					vc.waitCycles++
@@ -730,8 +744,14 @@ func (n *Network) switchAllocate(lo, hi int, fx *tickFx) {
 					vc := &ip.vcs[vi]
 					// saMask guarantees an active VC with a buffered flit;
 					// only maturity and credit remain to check.
-					if vc.headArrive >= n.cycle ||
-						!rt.out[vc.outPort].creditOK(int(vc.outVC)) {
+					if vc.headArrive >= n.cycle {
+						continue
+					}
+					if !rt.out[vc.outPort].creditOK(int(vc.outVC)) {
+						if n.detail != nil && iter == 0 {
+							n.detail.DetailEvent(Event{Cycle: n.cycle, Kind: EvCreditStall,
+								Packet: vc.cur.ID, Router: r, Port: vc.outPort, VC: vc.outVC})
+						}
 						continue
 					}
 					rt.arbOps++
@@ -796,6 +816,10 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 	rt.xbarFlits++
 	out.flitsSent++
 	fx.progress()
+	if n.detail != nil {
+		n.detail.DetailEvent(Event{Cycle: n.cycle, Kind: EvSwitchAlloc,
+			Packet: f.Pkt.ID, Router: rt.id, Port: int16(out.port), VC: vc.outVC})
+	}
 	if up := ip.upstream; up != nil {
 		up.creditQ.push(creditEvt{vc: int(vc.idx), at: n.cycle + 1})
 		if up.router >= 0 {

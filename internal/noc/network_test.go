@@ -575,7 +575,7 @@ func TestTracerRecordsPath(t *testing.T) {
 
 func TestTracerFilter(t *testing.T) {
 	n := newMeshNet(t)
-	tr := &CollectingTracer{Only: 2}
+	tr := &CollectingTracer{Filter: true, Only: 2}
 	n.SetTracer(tr)
 	n.Inject(&Packet{Src: 0, Dst: 5, NumFlits: 1}) // ID 1
 	n.Inject(&Packet{Src: 8, Dst: 9, NumFlits: 1}) // ID 2

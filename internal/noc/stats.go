@@ -57,8 +57,6 @@ func (c *ClassStats) Avg() float64 {
 	return float64(c.TotalLatency) / float64(c.Packets)
 }
 
-func (s *Stats) init(numRouters int) {}
-
 // IdealTransferCycles is the contention-free latency of a packet: one cycle
 // NI-to-router plus pipeline eligibility, three cycles per hop (two router
 // stages + link), the final ejection wire, and serialization of the

@@ -1,0 +1,111 @@
+package noc
+
+import (
+	"testing"
+)
+
+// histPacket records one synthetic delivered packet with the given total
+// latency directly into s (zero hops, one flit, so transfer is the 4-cycle
+// ideal and everything else lands in blocking).
+func histPacket(s *Stats, latency int64) {
+	s.recordPacket(&Packet{
+		ID: 1, NumFlits: 1, MinSlots: 1,
+		CreateCycle: 0, InjectCycle: 0, RecvCycle: latency,
+	})
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Stats
+	if got := s.Percentile(0.5); got != 0 {
+		t.Fatalf("empty stats percentile = %v, want 0", got)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var s Stats
+	for i := 0; i < 100; i++ {
+		histPacket(&s, 10)
+	}
+	for i := 0; i < 100; i++ {
+		histPacket(&s, 20)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.0001, 10}, // target clamps to the first packet: the minimum
+		{0.5, 10},    // exactly the lower half
+		{0.51, 20},
+		{1, 20}, // the maximum
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileOverflowBucket(t *testing.T) {
+	var s Stats
+	histPacket(&s, 10)
+	histPacket(&s, 3*latHistMax) // beyond the histogram: overflow bucket
+	if got := s.Percentile(1); got != latHistMax {
+		t.Fatalf("overflow percentile = %v, want %v", got, float64(latHistMax))
+	}
+	if got := s.Percentile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	var s Stats
+	for lat := int64(1); lat <= 64; lat++ {
+		histPacket(&s, lat)
+	}
+	prev := 0.0
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := s.Percentile(p)
+		if got < prev {
+			t.Fatalf("Percentile(%v) = %v < previous %v", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestResetStatsExcludesEarlierPackets(t *testing.T) {
+	n := newMeshNet(t)
+	delivered := 0
+	n.SetOnPacket(func(*Packet) { delivered++ })
+	// A corner-to-corner packet takes tens of cycles; reset while it is in
+	// flight, so it arrives inside the new window but was created before it.
+	n.Inject(&Packet{Src: 0, Dst: 63, NumFlits: 4})
+	for i := 0; i < 3; i++ {
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.ResetStats()
+	runUntilQuiesced(t, n, 1000)
+	if delivered != 1 {
+		t.Fatalf("delivered %d packets, want 1", delivered)
+	}
+	s := n.Stats()
+	if s.PacketsReceived != 0 || s.TotalLatency != 0 {
+		t.Fatalf("pre-reset packet counted: received=%d totalLatency=%d",
+			s.PacketsReceived, s.TotalLatency)
+	}
+	if s.Percentile(0.5) != 0 {
+		t.Fatal("pre-reset packet reached the latency histogram")
+	}
+	// A packet created after the reset is measured normally.
+	n.Inject(&Packet{Src: 0, Dst: 63, NumFlits: 4})
+	runUntilQuiesced(t, n, 1000)
+	if s.PacketsReceived != 1 || s.TotalLatency <= 0 {
+		t.Fatalf("post-reset packet not counted: received=%d totalLatency=%d",
+			s.PacketsReceived, s.TotalLatency)
+	}
+	// Router activity counters restarted with the window too.
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,20 @@ const (
 	EvEscape
 	// EvEject: the tail flit was consumed at the destination.
 	EvEject
+
+	// Detail events, emitted only when the installed tracer implements
+	// DetailTracer (see flittrace.go). They expose the microarchitectural
+	// pipeline the macro events skip over:
+
+	// EvVCAlloc: a waiting head won a downstream virtual channel.
+	EvVCAlloc
+	// EvSwitchAlloc: a flit won switch allocation and traversed the
+	// crossbar onto its output link.
+	EvSwitchAlloc
+	// EvCreditStall: an active VC had a flit ready but no downstream
+	// credit this cycle (back-pressure; emitted once per stalled VC per
+	// cycle).
+	EvCreditStall
 )
 
 func (k EventKind) String() string {
@@ -29,6 +43,12 @@ func (k EventKind) String() string {
 		return "escape"
 	case EvEject:
 		return "eject"
+	case EvVCAlloc:
+		return "vc_alloc"
+	case EvSwitchAlloc:
+		return "sw_alloc"
+	case EvCreditStall:
+		return "credit_stall"
 	}
 	return "?"
 }
@@ -39,8 +59,14 @@ type Event struct {
 	Kind   EventKind
 	Packet uint64
 	// Router is the router involved (the receiving router for hops, the
-	// source router for injects, -1 for ejects).
+	// source router for injects, the allocating router for detail events,
+	// -1 for ejects).
 	Router int
+	// Port and VC locate detail events in the router microarchitecture:
+	// the output port / downstream VC being allocated or stalled on. They
+	// are -1 on the macro events (inject/hop/escape/eject).
+	Port int16
+	VC   int16
 }
 
 // Tracer receives packet life-cycle events. Implementations must be fast:
@@ -49,27 +75,44 @@ type Tracer interface {
 	PacketEvent(e Event)
 }
 
-// SetTracer installs (or removes, with nil) the event tracer.
-func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+// DetailTracer is the opt-in extension for microarchitectural events
+// (EvVCAlloc, EvSwitchAlloc, EvCreditStall). Installing a Tracer that also
+// implements DetailTracer arms the detail hooks; a plain Tracer never sees
+// (or pays for) them.
+type DetailTracer interface {
+	Tracer
+	DetailEvent(e Event)
+}
+
+// SetTracer installs (or removes, with nil) the event tracer. Tracing
+// disables intra-cycle sharding (event order is part of the observable
+// behavior), so traced runs execute on the sequential kernel.
+func (n *Network) SetTracer(t Tracer) {
+	n.tracer = t
+	n.detail, _ = t.(DetailTracer)
+}
 
 func (n *Network) trace(kind EventKind, pkt uint64, router int) {
 	if n.tracer != nil {
-		n.tracer.PacketEvent(Event{Cycle: n.cycle, Kind: kind, Packet: pkt, Router: router})
+		n.tracer.PacketEvent(Event{Cycle: n.cycle, Kind: kind, Packet: pkt, Router: router, Port: -1, VC: -1})
 	}
 }
 
-// CollectingTracer buffers events, optionally filtered to one packet ID
-// (0 = all packets). It is the ready-made implementation for debugging and
-// tests.
+// CollectingTracer buffers macro events, optionally filtered to one packet
+// ID. It is the ready-made implementation for debugging and tests; for
+// microarchitectural detail and bounded memory use FlitTracer.
 type CollectingTracer struct {
-	// Only filters to a single packet ID when nonzero.
+	// Filter enables filtering: only events of packet Only are kept.
+	// (Packet IDs start at 1, but 0 is a legal value to filter for, so
+	// the switch is explicit rather than a zero-value sentinel.)
+	Filter bool
 	Only   uint64
 	Events []Event
 }
 
 // PacketEvent implements Tracer.
 func (c *CollectingTracer) PacketEvent(e Event) {
-	if c.Only != 0 && e.Packet != c.Only {
+	if c.Filter && e.Packet != c.Only {
 		return
 	}
 	c.Events = append(c.Events, e)

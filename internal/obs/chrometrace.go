@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), the interchange format Perfetto and chrome://tracing load
+// directly. Only the fields the flit tracer emits are modeled:
+//
+//   - Ph "i": instant event (flit life-cycle points),
+//   - Ph "C": counter event (per-window occupancy curves),
+//   - Ph "M": metadata (process/thread naming, so routers and ports get
+//     readable track names in the UI).
+//
+// See https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds; the simulator maps 1 cycle -> 1 us
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceDoc is the top-level trace container. displayTimeUnit tells
+// the viewer to render microsecond ticks; since the exporters map one
+// simulated cycle to one microsecond, the UI's time axis reads in cycles.
+type chromeTraceDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders events as a complete Chrome trace JSON document.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTraceDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ProcessName builds the metadata event naming process pid in the viewer.
+func ProcessName(pid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}}
+}
+
+// ThreadName builds the metadata event naming thread (pid, tid).
+func ThreadName(pid, tid int, name string) ChromeEvent {
+	return ChromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name}}
+}
+
+// ValidateChromeTrace structurally checks a Chrome trace JSON document:
+// the top-level object must carry a traceEvents array, and every event
+// needs a name, a known phase and a non-negative timestamp (metadata
+// events excepted). It returns the event count. The obs-smoke CI job runs
+// exported traces through this before declaring them Perfetto-loadable.
+func ValidateChromeTrace(r io.Reader) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("obs: bad chrome trace JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: chrome trace has no traceEvents array")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("obs: chrome trace event %d has no name", i)
+		}
+		switch e.Ph {
+		case "i", "I", "C", "M", "B", "E", "X", "b", "e", "n", "s", "t", "f":
+		default:
+			return 0, fmt.Errorf("obs: chrome trace event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" {
+			if e.TS == nil {
+				return 0, fmt.Errorf("obs: chrome trace event %d (%s) has no ts", i, e.Name)
+			}
+			if *e.TS < 0 {
+				return 0, fmt.Errorf("obs: chrome trace event %d (%s) has negative ts", i, e.Name)
+			}
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

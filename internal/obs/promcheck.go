@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// promSample matches one sample line of the text exposition format.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+// ValidatePrometheusText structurally checks a text exposition: every line
+// must be a comment or a well-formed sample, and every sample's family
+// must be declared by a preceding # TYPE comment (histogram _bucket/_sum/
+// _count suffixes resolve to their family). It returns the sample count.
+// The obs-smoke CI job runs /metrics payloads through this.
+func ValidatePrometheusText(text string) (int, error) {
+	declared := map[string]bool{}
+	n := 0
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return 0, fmt.Errorf("obs: bad TYPE line: %q", line)
+			}
+			declared[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			return 0, fmt.Errorf("obs: malformed exposition line: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suffix); ok && declared[cut] {
+				base = cut
+			}
+		}
+		if !declared[base] {
+			return 0, fmt.Errorf("obs: sample %q has no TYPE declaration", name)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("obs: exposition has no samples")
+	}
+	return n, nil
+}

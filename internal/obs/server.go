@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// ServerConfig wires the introspection endpoints. All fields are optional;
+// endpoints whose source is nil respond 404.
+type ServerConfig struct {
+	// Metrics sources the /metrics payload (Prometheus text format). Use
+	// Registry.Exposition for concurrency-safe registries (atomic-backed
+	// metrics), or Snapshot.Metrics when gauges read single-threaded
+	// simulator state.
+	Metrics func() []byte
+	// TimeSeries sources the /timeseries payload (TimeSeries JSON).
+	TimeSeries func() []byte
+	// Progress returns a monotonically non-decreasing counter (typically
+	// the simulation cycle) for the /healthz stall watchdog.
+	Progress func() int64
+	// StallDump renders diagnostic state (e.g. Network.StalledDump) once
+	// the watchdog declares a stall. It is only invoked while progress is
+	// frozen.
+	StallDump func() string
+	// StallAfter is how long progress may stay frozen before /healthz
+	// reports stalled (default 10s).
+	StallAfter time.Duration
+}
+
+// Server is the opt-in introspection HTTP server: /metrics, /timeseries,
+// /healthz and the net/http/pprof suite under /debug/pprof/. Start it with
+// StartServer("...:6060", cfg); Close releases the listener.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+	srv *http.Server
+
+	mu         sync.Mutex
+	lastCycle  int64
+	lastChange time.Time
+	everPolled bool
+	done       chan struct{}
+}
+
+// StartServer listens on addr and serves the introspection endpoints in a
+// background goroutine. It returns once the listener is bound, so Addr is
+// immediately valid (use ":0" to pick a free port in tests).
+func StartServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/timeseries", s.handleTimeSeries)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	if cfg.Progress != nil {
+		go s.watch()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	close(s.done)
+	return s.srv.Close()
+}
+
+// watch polls Progress so a stall is detected even when nobody hits
+// /healthz between cycles.
+func (s *Server) watch() {
+	interval := s.cfg.StallAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.poll()
+		}
+	}
+}
+
+// poll refreshes the watchdog state from Progress.
+func (s *Server) poll() (cycle int64, stalledFor time.Duration) {
+	now := time.Now()
+	cycle = s.cfg.Progress()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.everPolled || cycle != s.lastCycle {
+		s.lastCycle = cycle
+		s.lastChange = now
+		s.everPolled = true
+		return cycle, 0
+	}
+	return cycle, now.Sub(s.lastChange)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Metrics == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.cfg.Metrics())
+}
+
+func (s *Server) handleTimeSeries(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.TimeSeries == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.cfg.TimeSeries())
+}
+
+// healthzPayload is the /healthz response body.
+type healthzPayload struct {
+	Status     string  `json:"status"` // "ok" | "stalled" | "unknown"
+	Cycle      int64   `json:"cycle"`
+	StalledSec float64 `json:"stalled_sec,omitempty"`
+	Dump       string  `json:"dump,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.Progress == nil {
+		json.NewEncoder(w).Encode(healthzPayload{Status: "unknown"})
+		return
+	}
+	cycle, stalledFor := s.poll()
+	p := healthzPayload{Status: "ok", Cycle: cycle}
+	if stalledFor >= s.cfg.StallAfter {
+		p.Status = "stalled"
+		p.StalledSec = stalledFor.Seconds()
+		if s.cfg.StallDump != nil {
+			p.Dump = s.cfg.StallDump()
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(p)
+}
+
+// Snapshot decouples a single-threaded simulation from concurrent HTTP
+// reads: the simulator calls Update from its own loop (e.g. every sampler
+// window), rendering the registry and time series into byte buffers under
+// a lock; the server sources read the latest buffers. The simulator never
+// shares mutable state with the HTTP goroutine.
+type Snapshot struct {
+	mu         sync.Mutex
+	metrics    []byte
+	timeseries []byte
+	cycle      int64
+}
+
+// Update re-renders the exposition artifacts. reg and ts may be nil.
+func (sn *Snapshot) Update(cycle int64, reg *Registry, ts *TimeSeries) {
+	var metrics, series []byte
+	if reg != nil {
+		metrics = reg.Exposition()
+	}
+	if ts != nil {
+		var buf jsonBuffer
+		_ = ts.WriteJSON(&buf)
+		series = buf.b
+	}
+	sn.mu.Lock()
+	sn.cycle = cycle
+	if metrics != nil {
+		sn.metrics = metrics
+	}
+	if series != nil {
+		sn.timeseries = series
+	}
+	sn.mu.Unlock()
+}
+
+// Metrics returns the latest rendered /metrics payload.
+func (sn *Snapshot) Metrics() []byte {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.metrics
+}
+
+// TimeSeries returns the latest rendered /timeseries payload.
+func (sn *Snapshot) TimeSeries() []byte {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.timeseries
+}
+
+// Cycle returns the last cycle passed to Update (the watchdog progress
+// source for snapshot-backed servers).
+func (sn *Snapshot) Cycle() int64 {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.cycle
+}
+
+// jsonBuffer is a minimal io.Writer over a byte slice.
+type jsonBuffer struct{ b []byte }
+
+func (j *jsonBuffer) Write(p []byte) (int, error) {
+	j.b = append(j.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,62 @@
+package par
+
+import "heteronoc/internal/obs"
+
+// TickStats summarizes a pool's ShardedTick history: how many ticks ran, how
+// many degenerated to the inline single-shard path, how the work divided
+// into spans, and the largest/smallest span sizes handed to a worker. Since
+// spans are contiguous and differ by at most one item, MaxSpan-MinSpan ≤ 1
+// within any single tick; across ticks the range reflects varying n.
+type TickStats struct {
+	Ticks       int64 // ShardedTick calls that had work (n > 0)
+	InlineTicks int64 // ticks that ran on the caller (single shard)
+	Spans       int64 // worker spans dispatched (inline ticks count one)
+	Items       int64 // total items across all ticks
+	MaxSpan     int   // largest span size ever dispatched
+	MinSpan     int   // smallest span size ever dispatched
+}
+
+// TickStats returns the pool's accumulated tick accounting. Read it from
+// the goroutine driving ShardedTick (or after the simulation stops).
+func (p *Pool) TickStats() TickStats {
+	return TickStats{
+		Ticks: p.ticks, InlineTicks: p.inlineTicks,
+		Spans: p.spans, Items: p.items,
+		MaxSpan: p.maxSpan, MinSpan: p.minSpan,
+	}
+}
+
+// noteSpan folds one tick's span-size extremes into the running min/max.
+func (p *Pool) noteSpan(max, min int) {
+	if max > p.maxSpan {
+		p.maxSpan = max
+	}
+	if p.minSpan == 0 || min < p.minSpan {
+		p.minSpan = min
+	}
+}
+
+// RegisterMetrics registers the pool's worker-balance statistics in reg.
+func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterGauge("par_pool_workers", "worker goroutines in the shard pool", labels,
+		func() float64 { return float64(p.workers) })
+	reg.RegisterCounter("par_ticks_total", "sharded ticks executed", labels,
+		func() float64 { return float64(p.ticks) })
+	reg.RegisterCounter("par_inline_ticks_total", "ticks run inline on a single shard", labels,
+		func() float64 { return float64(p.inlineTicks) })
+	reg.RegisterCounter("par_spans_total", "worker spans dispatched", labels,
+		func() float64 { return float64(p.spans) })
+	reg.RegisterCounter("par_items_total", "items processed across all ticks", labels,
+		func() float64 { return float64(p.items) })
+	reg.RegisterGauge("par_span_items_max", "largest span size dispatched", labels,
+		func() float64 { return float64(p.maxSpan) })
+	reg.RegisterGauge("par_span_items_min", "smallest span size dispatched", labels,
+		func() float64 { return float64(p.minSpan) })
+	reg.RegisterGauge("par_mean_items_per_span", "mean span size (worker balance)", labels,
+		func() float64 {
+			if p.spans == 0 {
+				return 0
+			}
+			return float64(p.items) / float64(p.spans)
+		})
+}

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"strings"
+	"testing"
+
+	"heteronoc/internal/obs"
+)
+
+func TestTickStats(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.ShardedTick(10, func(shard, lo, hi int) {})
+	p.ShardedTick(0, func(shard, lo, hi int) {}) // no work: not a tick
+	p.ShardedTick(1, func(shard, lo, hi int) {}) // single shard: inline
+	st := p.TickStats()
+	if st.Ticks != 2 || st.InlineTicks != 1 {
+		t.Fatalf("ticks=%d inline=%d, want 2/1", st.Ticks, st.InlineTicks)
+	}
+	if st.Spans != 3 || st.Items != 11 {
+		t.Fatalf("spans=%d items=%d, want 3/11", st.Spans, st.Items)
+	}
+	if st.MaxSpan != 5 || st.MinSpan != 1 {
+		t.Fatalf("span extremes %d/%d, want 5/1", st.MaxSpan, st.MinSpan)
+	}
+}
+
+func TestPoolRegisterMetrics(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	p.ShardedTick(9, func(shard, lo, hi int) {})
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg, obs.L("pool", "net"))
+	out := string(reg.Exposition())
+	if _, err := obs.ValidatePrometheusText(out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`par_pool_workers{pool="net"} 3`,
+		`par_ticks_total{pool="net"} 1`,
+		`par_items_total{pool="net"} 9`,
+		`par_mean_items_per_span{pool="net"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

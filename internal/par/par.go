@@ -89,6 +89,16 @@ type Pool struct {
 	work    chan shardJob
 	wg      sync.WaitGroup
 	closed  bool
+
+	// Tick accounting (see TickStats). Plain counters written by the
+	// single goroutine driving ShardedTick; read them from that goroutine
+	// (or after the simulation stops), not concurrently.
+	ticks       int64
+	inlineTicks int64
+	spans       int64
+	items       int64
+	maxSpan     int
+	minSpan     int
 }
 
 // shardJob is one shard of a tick: run fn over [lo,hi) as shard `shard`.
@@ -166,7 +176,12 @@ func (p *Pool) ShardedTick(n int, fn func(shard, lo, hi int)) {
 	if shards > n {
 		shards = n
 	}
+	p.ticks++
+	p.items += int64(n)
+	p.spans += int64(shards)
 	if shards == 1 {
+		p.inlineTicks++
+		p.noteSpan(n, n)
 		// Single shard: run inline, same code path as a worker would take.
 		fn(0, 0, n)
 		return
@@ -177,6 +192,11 @@ func (p *Pool) ShardedTick(n int, fn func(shard, lo, hi int)) {
 	done.Add(shards)
 	span := n / shards
 	extra := n % shards // the first `extra` shards take one more item
+	if extra > 0 {
+		p.noteSpan(span+1, span)
+	} else {
+		p.noteSpan(span, span)
+	}
 	lo := 0
 	for s := 0; s < shards; s++ {
 		hi := lo + span

@@ -12,13 +12,32 @@
 # "fault_sweep_ns_per_op" field so fault-stack regressions are one jq
 # expression away (`jq '.[-1].fault_sweep_ns_per_op' BENCH_noc.json`).
 #
+# The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
+# folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
+# a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
+# (cost of registry + attached time-series sampler), so obs-layer
+# regressions are as visible as kernel regressions.
+#
 # BENCH_noc.json is a JSON array, oldest entry first, one compact object
 # per line. A legacy single-object file (the pre-history format) is folded
 # in as the first entry on the next run.
 #
 # Usage: scripts/bench.sh [output.json]    (default BENCH_noc.json)
+#        scripts/bench.sh -smoke
+#
+# -smoke is the CI mode: it runs only the kernel + observability cycle
+# benchmarks (short, fixed iteration count), prints the two overhead
+# percentages, fails if sampling overhead exceeds 25% or tracing overhead
+# exceeds 200% (generous bounds — CI machines are noisy; trend numbers come
+# from full runs), and records nothing.
 set -eu
 cd "$(dirname "$0")/.."
+
+smoke=0
+if [ "${1:-}" = "-smoke" ]; then
+	smoke=1
+	shift
+fi
 
 out=${1:-BENCH_noc.json}
 raw=${out%.json}.txt
@@ -28,6 +47,34 @@ date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 run=$(mktemp)
 trap 'rm -f "$run"' EXIT
+
+if [ "$smoke" = 1 ]; then
+	go test -run '^$' \
+		-bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleTraced$|BenchmarkNetworkCycleSampled$|BenchmarkCMPCycle$' \
+		-benchtime 2000x -count 5 -benchmem . | tee "$run"
+	awk '
+	/^BenchmarkNetworkCycle-|^BenchmarkNetworkCycle /        { base = base " " $3 }
+	/^BenchmarkNetworkCycleTraced/                           { tr = tr " " $3 }
+	/^BenchmarkNetworkCycleSampled/                          { sm = sm " " $3 }
+	function median(s,   v, m, i, j, t) {
+		m = split(s, v, " ")
+		for (i = 2; i <= m; i++)
+			for (j = i; j > 1 && v[j - 1] + 0 > v[j] + 0; j--) {
+				t = v[j]; v[j] = v[j - 1]; v[j - 1] = t
+			}
+		return (m % 2) ? v[(m + 1) / 2] : (v[m / 2] + v[m / 2 + 1]) / 2
+	}
+	END {
+		b = median(base)
+		if (b <= 0) { print "smoke: no baseline benchmark output" > "/dev/stderr"; exit 1 }
+		trp = 100 * (median(tr) - b) / b
+		smp = 100 * (median(sm) - b) / b
+		printf "tracer_overhead_pct  %.1f (bound 200)\n", trp
+		printf "metrics_overhead_pct %.1f (bound 25)\n", smp
+		if (trp > 200 || smp > 25) { print "smoke: observability overhead out of bounds" > "/dev/stderr"; exit 1 }
+	}' "$run"
+	exit 0
+fi
 
 go test -run '^$' -bench . -benchmem -count 5 . | tee "$run"
 
@@ -63,6 +110,15 @@ END {
 	printf "{\"commit\": \"%s\", \"date\": \"%s\", ", commit, date
 	if ("BenchmarkFaultSweep" in ns)
 		printf "\"fault_sweep_ns_per_op\": %g, ", median(ns["BenchmarkFaultSweep"])
+	if ("BenchmarkNetworkCycle" in ns) {
+		base = median(ns["BenchmarkNetworkCycle"])
+		if (base > 0 && "BenchmarkNetworkCycleTraced" in ns)
+			printf "\"tracer_overhead_pct\": %.1f, ", \
+				100 * (median(ns["BenchmarkNetworkCycleTraced"]) - base) / base
+		if (base > 0 && "BenchmarkNetworkCycleSampled" in ns)
+			printf "\"metrics_overhead_pct\": %.1f, ", \
+				100 * (median(ns["BenchmarkNetworkCycleSampled"]) - base) / base
+	}
 	printf "\"benchmarks\": ["
 	for (i = 1; i <= n; i++) {
 		nm = order[i]
