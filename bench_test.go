@@ -278,3 +278,100 @@ func BenchmarkReliableCycle(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCheckpointRestore measures deserializing a mid-run 8x8 network
+// checkpoint into a fresh simulator — the fixed cost every cache-served
+// warm start pays instead of re-simulating the prefix. scripts/bench.sh
+// records it as "ckpt_restore_ns_per_op" in BENCH_noc.json.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	l := core.NewBaseline(8, 8)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	for c := 0; c < 2000; c++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := net.Snapshot(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := l.Network()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.RestoreSnapshot(snap, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmRestore measures restoring a shared CMP warm checkpoint
+// versus the warmup replay it replaces (BenchmarkCMPWarmup below); the
+// ratio is the per-run saving the warmup-sharing path buys each figure.
+func BenchmarkWarmRestore(b *testing.B) {
+	p, err := trace.ProfileByName("SPECjbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkTraces := func() []trace.Reader {
+		trs := make([]trace.Reader, 64)
+		for i := range trs {
+			trs[i] = trace.NewGenerator(p, i, 128)
+		}
+		return trs
+	}
+	warm, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: mkTraces()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Warmup(8000)
+	snap, err := warm.WarmSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: mkTraces()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RestoreWarmSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCMPWarmup is the direct-warmup baseline for BenchmarkWarmRestore.
+func BenchmarkCMPWarmup(b *testing.B) {
+	p, err := trace.ProfileByName("SPECjbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trs := make([]trace.Reader, 64)
+		for t := range trs {
+			trs[t] = trace.NewGenerator(p, t, 128)
+		}
+		s, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: trs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Warmup(8000)
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	experiments [-exp all|fig1|fig2|table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|dse]
 //	            [-scale quick|full] [-out results.md] [-nocache]
+//	            [-cachedir ~/.cache/heteronoc] [-cachesize bytes] [-nowarmshare]
 //	            [-manifest run.manifest.json] [-obs :6060]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -30,6 +31,15 @@ import (
 	"heteronoc/internal/runcache"
 )
 
+// defaultCacheDir resolves the persistent cache location following the
+// XDG convention; "" (disk tier off) when no home directory is known.
+func defaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "heteronoc")
+	}
+	return ""
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma list, 'all' (paper), or 'everything' (paper + extensions)")
 	scale := flag.String("scale", "quick", "simulation scale: quick or full")
@@ -39,12 +49,24 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	noCache := flag.Bool("nocache", false, "disable the in-process run cache (every probe re-simulates)")
+	noCache := flag.Bool("nocache", false, "disable the run cache entirely, memory and disk (every probe re-simulates)")
+	cacheDir := flag.String("cachedir", defaultCacheDir(), "persistent run-cache directory ('' or 'none' disables the disk tier)")
+	cacheSize := flag.Int64("cachesize", 256<<20, "disk cache byte cap, LRU-evicted (0 = unlimited)")
+	noWarmShare := flag.Bool("nowarmshare", false, "disable shared CMP warmups (every run replays its own warmup trace)")
 	manifestOut := flag.String("manifest", "", "run-manifest path (default: <out>.manifest.json, or experiments.manifest.json; 'none' disables)")
 	obsAddr := flag.String("obs", "", "serve live introspection (/metrics, /healthz, pprof) on this address, e.g. :6060")
 	flag.Parse()
 
 	runcache.SetEnabled(!*noCache)
+	experiments.SetWarmupSharing(!*noWarmShare)
+	if *cacheDir != "" && *cacheDir != "none" && !*noCache {
+		if err := runcache.SetDir(*cacheDir); err != nil {
+			// The disk tier is an optimization; an unusable directory must
+			// not stop a regeneration.
+			fmt.Fprintf(os.Stderr, "warning: disk cache disabled: %v\n", err)
+		}
+		runcache.SetMaxBytes(*cacheSize)
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -163,6 +185,10 @@ func main() {
 	if hit, miss := runcache.Stats(); hit+miss > 0 {
 		fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses (%d runs reused)\n", hit, miss, hit)
 	}
+	if dh, dm, de := runcache.DiskStats(); dh+dm > 0 {
+		fmt.Fprintf(os.Stderr, "disk cache (%s): %d hits, %d misses, %d evicted\n",
+			runcache.Dir(), dh, dm, de)
+	}
 
 	if *manifestOut != "none" {
 		path := *manifestOut
@@ -173,6 +199,7 @@ func main() {
 			}
 		}
 		hit, miss := runcache.Stats()
+		dh, dm, de := runcache.DiskStats()
 		m := &obs.Manifest{
 			Tool:         "experiments",
 			ConfigHash:   experiments.ConfigHash(ids, sc),
@@ -180,6 +207,7 @@ func main() {
 			Experiments:  ids,
 			Fingerprints: fingerprints,
 			RuncacheHits: hit, RuncacheMisses: miss,
+			DiskHits: dh, DiskMisses: dm, DiskEvictions: de,
 			WallTimeSec: time.Since(runStart).Seconds(),
 		}
 		if err := m.WriteFile(path); err != nil {

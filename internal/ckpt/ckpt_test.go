@@ -1,0 +1,137 @@
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	h := Header{Kind: "test", Version: 3, Cycle: -7, Flits: 11, Queued: 2,
+		NextPktID: 99, Fingerprint: 0xdeadbeefcafef00d}
+	w := NewWriter(h)
+	w.U64(0)
+	w.U64(1 << 60)
+	w.I64(-1 << 40)
+	w.Int(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.Bytes([]byte{1, 2, 3})
+	w.Bytes(nil)
+	w.Str("héllo")
+	data := w.Finish()
+
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Header() != h {
+		t.Fatalf("header mismatch: got %+v want %+v", r.Header(), h)
+	}
+	if v := r.U64(); v != 0 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := r.U64(); v != 1<<60 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -1<<40 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.Int(); v != -42 {
+		t.Errorf("Int = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool sequence wrong")
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := r.F64(); !math.IsInf(v, -1) {
+		t.Errorf("F64 = %v", v)
+	}
+	if b := r.Bytes(); len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+	if b := r.Bytes(); len(b) != 0 {
+		t.Errorf("empty Bytes = %v", b)
+	}
+	if s := r.Str(); s != "héllo" {
+		t.Errorf("Str = %q", s)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter(Header{Kind: "test", Version: 1})
+	w.U64(12345)
+	w.Str("payload")
+	good := w.Finish()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:5],
+		"badmagic":  append([]byte("XOCCKPT01"), good[9:]...),
+		"truncated": good[:len(good)-6],
+	}
+	// One flipped byte anywhere must fail the CRC.
+	for i := 0; i < len(good); i += 7 {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x40
+		cases["flip@"+string(rune('0'+i%10))] = b
+	}
+	for name, data := range cases {
+		if _, err := NewReader(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	w := NewWriter(Header{Kind: "test", Version: 1})
+	w.U64(1)
+	w.U64(2)
+	data := w.Finish()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64() // consume only one of two fields
+	if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Done = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	w := NewWriter(Header{Kind: "test", Version: 1})
+	w.Bool(true)
+	data := w.Finish()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bool()
+	r.U64() // past the end: sets sticky error
+	if r.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	// Every subsequent accessor is a zero-value no-op.
+	if r.U64() != 0 || r.I64() != 0 || r.Bool() || r.F64() != 0 || r.Str() != "" || r.Bytes() != nil {
+		t.Error("accessors not inert after sticky error")
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	w := NewWriter(Header{Kind: "noc-net", Version: 1, Cycle: 500, Fingerprint: 42})
+	w.U64(7)
+	h, err := ReadHeader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != "noc-net" || h.Cycle != 500 || h.Fingerprint != 42 {
+		t.Errorf("header = %+v", h)
+	}
+}

@@ -1,0 +1,102 @@
+package cache
+
+// Checkpoint support. A cache serializes its complete replacement state —
+// every valid line with tag, MESI state and LRU stamp, plus the global
+// LRU tick and the cache-level counters — so a restored cache makes
+// exactly the same hit/miss/victim decisions as the original. Payloads
+// (directory entries on L2 banks, the prefetch tag on L1s) are delegated
+// to controller-supplied codec functions.
+
+import (
+	"fmt"
+
+	"heteronoc/internal/ckpt"
+)
+
+// EncodeState writes the cache's dynamic state. encPayload serializes a
+// non-nil line payload; it may be nil when the owner never attaches one.
+func (c *Cache) EncodeState(w *ckpt.Writer, encPayload func(*ckpt.Writer, any) error) error {
+	w.Int(len(c.lines))
+	w.I64(c.tick)
+	w.I64(c.Hits)
+	w.I64(c.Misses)
+	w.I64(c.Evictions)
+	valid := 0
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			valid++
+		}
+	}
+	w.Int(valid)
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.State.Valid() {
+			continue
+		}
+		w.Int(i)
+		w.U64(ln.Tag)
+		w.U64(uint64(ln.State))
+		w.I64(ln.lru)
+		if ln.Payload == nil {
+			w.Bool(false)
+			continue
+		}
+		if encPayload == nil {
+			return fmt.Errorf("cache: line %d carries a payload but no payload encoder was given", i)
+		}
+		w.Bool(true)
+		if err := encPayload(w, ln.Payload); err != nil {
+			return fmt.Errorf("cache: encoding payload of line %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeState loads state written by EncodeState into c, which must have
+// the same geometry. All lines are invalidated first.
+func (c *Cache) DecodeState(r *ckpt.Reader, decPayload func(*ckpt.Reader) (any, error)) error {
+	if n := r.Int(); n != len(c.lines) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("cache: checkpoint has %d lines, target has %d", n, len(c.lines))
+	}
+	c.tick = r.I64()
+	c.Hits = r.I64()
+	c.Misses = r.I64()
+	c.Evictions = r.I64()
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	valid := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for k := 0; k < valid; k++ {
+		i := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if i < 0 || i >= len(c.lines) {
+			return fmt.Errorf("cache: line index %d outside %d lines", i, len(c.lines))
+		}
+		ln := &c.lines[i]
+		ln.Tag = r.U64()
+		ln.State = State(r.U64())
+		ln.lru = r.I64()
+		if hasPayload := r.Bool(); hasPayload {
+			if decPayload == nil {
+				return fmt.Errorf("cache: line %d carries a payload but no payload decoder was given", i)
+			}
+			p, err := decPayload(r)
+			if err != nil {
+				return fmt.Errorf("cache: decoding payload of line %d: %w", i, err)
+			}
+			ln.Payload = p
+		}
+		if !ln.State.Valid() {
+			return fmt.Errorf("cache: line %d serialized with invalid state", i)
+		}
+	}
+	return r.Err()
+}

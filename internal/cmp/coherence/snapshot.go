@@ -1,0 +1,101 @@
+package coherence
+
+// Checkpoint support for the coherence controllers. Both controllers are
+// serialized only at protocol-quiescent points (no outstanding MSHRs,
+// write-backs or home transactions) — the state captured is exactly what
+// a cache warmup leaves behind: cache contents, directory entries and the
+// counters the warmup does not reset. Mid-transaction state holds
+// completion closures (MSHR callbacks) that cannot be serialized, so a
+// snapshot of a busy controller is refused rather than silently lossy.
+
+import (
+	"fmt"
+
+	"heteronoc/internal/ckpt"
+)
+
+// EncodeState writes the L1's cache contents and sticky statistics.
+// The controller must be quiescent (no MSHRs, no in-flight write-backs).
+func (l *L1) EncodeState(w *ckpt.Writer) error {
+	if len(l.mshr) != 0 || len(l.wb) != 0 {
+		return fmt.Errorf("coherence: L1 %d not quiescent (%d MSHRs, %d write-backs)", l.tile, len(l.mshr), len(l.wb))
+	}
+	if err := l.c.EncodeState(w, encodeL1Payload); err != nil {
+		return fmt.Errorf("coherence: L1 %d: %w", l.tile, err)
+	}
+	w.I64(l.PrefetchesIssued)
+	w.I64(l.PrefetchesUseful)
+	return nil
+}
+
+// DecodeState loads state written by EncodeState.
+func (l *L1) DecodeState(r *ckpt.Reader) error {
+	if err := l.c.DecodeState(r, decodeL1Payload); err != nil {
+		return fmt.Errorf("coherence: L1 %d: %w", l.tile, err)
+	}
+	l.PrefetchesIssued = r.I64()
+	l.PrefetchesUseful = r.I64()
+	return r.Err()
+}
+
+// The only payload an L1 line ever carries is the prefetch tag (a shared
+// sentinel marking a speculative line before its first demand hit).
+func encodeL1Payload(w *ckpt.Writer, p any) error {
+	if p != prefetchTag {
+		return fmt.Errorf("unexpected L1 line payload %T", p)
+	}
+	w.Bool(true)
+	return nil
+}
+
+func decodeL1Payload(r *ckpt.Reader) (any, error) {
+	if !r.Bool() {
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, fmt.Errorf("malformed L1 payload marker")
+	}
+	return prefetchTag, r.Err()
+}
+
+// EncodeState writes the home bank's L2 contents (directory entries
+// included) and sticky statistics. The bank must be quiescent.
+func (h *Home) EncodeState(w *ckpt.Writer) error {
+	if len(h.busy) != 0 || len(h.waiting) != 0 {
+		return fmt.Errorf("coherence: home %d not quiescent (%d busy, %d waiting)", h.tile, len(h.busy), len(h.waiting))
+	}
+	if err := h.l2.EncodeState(w, encodeDirPayload); err != nil {
+		return fmt.Errorf("coherence: home %d: %w", h.tile, err)
+	}
+	return nil
+}
+
+// DecodeState loads state written by EncodeState.
+func (h *Home) DecodeState(r *ckpt.Reader) error {
+	if err := h.l2.DecodeState(r, decodeDirPayload); err != nil {
+		return fmt.Errorf("coherence: home %d: %w", h.tile, err)
+	}
+	return r.Err()
+}
+
+func encodeDirPayload(w *ckpt.Writer, p any) error {
+	d, ok := p.(*DirEntry)
+	if !ok {
+		return fmt.Errorf("unexpected L2 line payload %T, want *DirEntry", p)
+	}
+	w.Int(d.Owner)
+	w.U64(d.Sharers)
+	w.Bool(d.Dirty)
+	return nil
+}
+
+func decodeDirPayload(r *ckpt.Reader) (any, error) {
+	d := &DirEntry{Owner: r.Int(), Sharers: r.U64(), Dirty: r.Bool()}
+	return d, r.Err()
+}
+
+// Quiescent reports whether the L1 has no in-flight transactions.
+func (l *L1) Quiescent() bool { return len(l.mshr) == 0 && len(l.wb) == 0 }
+
+// Quiescent reports whether the home bank has no in-flight transactions.
+func (h *Home) Quiescent() bool { return len(h.busy) == 0 && len(h.waiting) == 0 }

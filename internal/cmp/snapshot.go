@@ -1,0 +1,131 @@
+package cmp
+
+// Warm-state checkpointing (NOCCKPT01 kind "cmp-warm"). A CMP system is
+// serialized at the one boundary where its complete architectural state
+// is closed over plain data: immediately after Warmup, before the first
+// timing Step. At that point every protocol transaction has settled
+// (warmup delivery is synchronous), no message is in flight, the network
+// and memory controllers are untouched, and the cores have not issued —
+// so the whole system state is the cache/directory contents, the LRU
+// bookkeeping, the prefetch counters warmup does not reset, and the trace
+// positions. Mid-run snapshots are refused: in-flight MSHRs and home
+// transactions hold completion closures that cannot be serialized.
+//
+// Restoring into a freshly built System replays the trace readers by the
+// recorded entry count (the generators are deterministic, so replaying N
+// reads reproduces the RNG stream position exactly) and loads the cache
+// state, leaving the system bit-identical to one that ran Warmup itself —
+// the figure pipeline relies on this to share one warmup across every
+// layout variant of a benchmark.
+
+import (
+	"fmt"
+
+	"heteronoc/internal/ckpt"
+)
+
+const (
+	// KindWarmSystem labels a post-warmup cmp.System checkpoint.
+	KindWarmSystem = "cmp-warm"
+
+	warmSnapshotVersion = 1
+)
+
+// WarmSnapshot serializes the post-warmup state of the system. It fails
+// if the system has started timing simulation or any controller is
+// mid-transaction.
+func (s *System) WarmSnapshot() ([]byte, error) {
+	if s.now != 0 {
+		return nil, fmt.Errorf("cmp: WarmSnapshot after %d timing cycles; only post-warmup snapshots are supported", s.now)
+	}
+	if len(s.delayQ) != 0 || len(s.seqOut) != 0 || len(s.seqIn) != 0 || len(s.parked) != 0 {
+		return nil, fmt.Errorf("cmp: WarmSnapshot with in-flight messages")
+	}
+	for _, tile := range s.Tiles {
+		if !tile.L1.Quiescent() || !tile.Home.Quiescent() {
+			return nil, fmt.Errorf("cmp: WarmSnapshot with tile %d mid-transaction", tile.ID)
+		}
+	}
+	w := ckpt.NewWriter(ckpt.Header{
+		Kind:    KindWarmSystem,
+		Version: warmSnapshotVersion,
+	})
+	w.Int(len(s.Tiles))
+	w.Int(s.cfg.LineBytes)
+	w.Bool(s.cfg.Prefetch)
+	w.Int(s.warmedEntries)
+	for _, tile := range s.Tiles {
+		if err := tile.L1.EncodeState(w); err != nil {
+			return nil, err
+		}
+		if err := tile.Home.EncodeState(w); err != nil {
+			return nil, err
+		}
+	}
+	return w.Finish(), nil
+}
+
+// RestoreWarmSnapshot loads a WarmSnapshot into a freshly built System
+// (same tile count, line size and cache geometry; the layout and memory
+// placement may differ — warmup state does not depend on them). The
+// system's trace readers are advanced by the warmup's consumption so the
+// measured phase reads the exact entries it would have after a direct
+// Warmup call. Equivalent to Warmup(entriesPerCore), bit for bit.
+func (s *System) RestoreWarmSnapshot(data []byte) error {
+	r, err := ckpt.NewReader(data)
+	if err != nil {
+		return err
+	}
+	h := r.Header()
+	if h.Kind != KindWarmSystem {
+		return fmt.Errorf("cmp: checkpoint kind %q, want %q", h.Kind, KindWarmSystem)
+	}
+	if h.Version != warmSnapshotVersion {
+		return fmt.Errorf("cmp: checkpoint version %d, want %d", h.Version, warmSnapshotVersion)
+	}
+	if s.now != 0 || s.warmedEntries != 0 {
+		return fmt.Errorf("cmp: RestoreWarmSnapshot target must be freshly constructed")
+	}
+	if n := r.Int(); n != len(s.Tiles) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("cmp: checkpoint has %d tiles, target has %d", n, len(s.Tiles))
+	}
+	if lb := r.Int(); lb != s.cfg.LineBytes {
+		return fmt.Errorf("cmp: checkpoint line size %d, target %d", lb, s.cfg.LineBytes)
+	}
+	if pf := r.Bool(); pf != s.cfg.Prefetch {
+		return fmt.Errorf("cmp: checkpoint prefetch=%t, target %t", pf, s.cfg.Prefetch)
+	}
+	entries := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if entries < 0 {
+		return fmt.Errorf("cmp: negative warmup entry count %d", entries)
+	}
+	for _, tile := range s.Tiles {
+		if err := tile.L1.DecodeState(r); err != nil {
+			return err
+		}
+		if err := tile.Home.DecodeState(r); err != nil {
+			return err
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	// Replay the trace readers to the post-warmup position. Warmup reads
+	// exactly entriesPerCore entries from each core's reader; the order of
+	// interleaving across cores does not matter because readers are
+	// per-core.
+	for _, tile := range s.Tiles {
+		tr := s.cfg.Traces[tile.ID]
+		for k := 0; k < entries; k++ {
+			tr.Next()
+		}
+	}
+	s.warmedEntries = entries
+	return nil
+}

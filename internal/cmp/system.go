@@ -83,6 +83,11 @@ type System struct {
 
 	// msgPool recycles packet envelopes between flush and receive.
 	msgPool []*netMsg
+
+	// warmedEntries records how many trace entries per core Warmup (or a
+	// restored warm checkpoint) consumed, so WarmSnapshot can replay the
+	// readers to the same position on restore.
+	warmedEntries int
 }
 
 type evt struct {
@@ -265,6 +270,12 @@ func bankShift(n int) uint {
 // Now returns the current core cycle.
 func (s *System) Now() int64 { return s.now }
 
+// LineBytes returns the configured cache line size (after defaulting).
+func (s *System) LineBytes() int { return s.cfg.LineBytes }
+
+// PrefetchEnabled reports whether the L1 next-line prefetcher is on.
+func (s *System) PrefetchEnabled() bool { return s.cfg.Prefetch }
+
 type pairKey struct{ src, dst int }
 
 // Send implements coherence.Transport: messages queue for their processing
@@ -398,6 +409,7 @@ func (s *System) Warmup(entriesPerCore int) {
 		}
 	}
 	s.warmup = false
+	s.warmedEntries += entriesPerCore
 	s.ResetStats()
 }
 

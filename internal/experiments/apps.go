@@ -64,7 +64,7 @@ func runAppUncached(l core.Layout, bench string, sc Scale, mcTiles []int, cores 
 	if err != nil {
 		return appResult{}, err
 	}
-	s.Warmup(sc.CMPWarmupEntries)
+	warmSystem(s, l, bench, sc)
 	if err := s.Run(sc.CMPCycles); err != nil {
 		return appResult{}, err
 	}

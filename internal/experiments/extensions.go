@@ -477,7 +477,7 @@ func runAppPrefetch(l core.Layout, bench string, sc Scale, prefetch bool) (appRe
 	if err != nil {
 		return appResult{}, err
 	}
-	s.Warmup(sc.CMPWarmupEntries)
+	warmSystem(s, l, bench, sc)
 	if err := s.Run(sc.CMPCycles); err != nil {
 		return appResult{}, err
 	}

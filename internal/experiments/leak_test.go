@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"heteronoc/internal/runcache"
+)
+
+// TestNoGoroutineLeakAfterExperimentRun audits the simulator's goroutine
+// hygiene end to end: a full figure regeneration — par.Map sweep fan-out,
+// CMP systems, network simulations, warm-checkpoint sharing — must leave
+// no goroutines behind. par.Map joins its workers before returning and no
+// experiment path arms a persistent shard pool (the only construct that
+// needs an explicit Network.Close), so the count returns to baseline.
+func TestNoGoroutineLeakAfterExperimentRun(t *testing.T) {
+	runcache.Reset()
+	defer runcache.Reset()
+	before := runtime.NumGoroutine()
+
+	sc := cacheTestScale("leaktest")
+	if _, err := Fig1(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig10(sc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker goroutines unwind asynchronously after wg.Wait releases the
+	// caller; give the scheduler a few beats before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines grew %d -> %d after experiment run\n%s", before, after, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

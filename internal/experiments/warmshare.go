@@ -1,0 +1,106 @@
+package experiments
+
+// Shared cache warmups. Every default-trace CMP run warms its caches from
+// the same deterministic per-core trace generators, and the warm state is
+// independent of the layout, topology and memory-controller placement
+// (warmup touches only L1s, home directories and trace positions — see
+// cmp.WarmSnapshot). So all seven Fig11/Fig12 layouts of one benchmark,
+// Fig10's mesh/torus pairs and Fig13's prefetch-off runs share one
+// (bench, tiles, entries, line size, prefetch) warmup. Instead of each run
+// replaying the warmup trace, the first arrival warms a template system,
+// snapshots it, and every run — first included — restores the checkpoint.
+// The checkpoint rides the runcache, so with a disk tier configured, a
+// later process skips warmup replay entirely.
+//
+// Restored and directly-warmed systems are bit-identical (pinned by the
+// cmp snapshot tests and TestFigureOutputIdenticalWithWarmupSharing), so
+// figure output cannot depend on this toggle.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"heteronoc/internal/cmp"
+	"heteronoc/internal/core"
+	"heteronoc/internal/runcache"
+	"heteronoc/internal/trace"
+)
+
+var (
+	warmupSharing atomic.Bool
+
+	// warmRestores / warmFallbacks let tests assert the sharing path
+	// actually ran rather than silently falling back.
+	warmRestores  atomic.Int64
+	warmFallbacks atomic.Int64
+)
+
+func init() { warmupSharing.Store(true) }
+
+// SetWarmupSharing toggles checkpoint-based warmup sharing (the
+// -nowarmshare flag of cmd/experiments). Output is identical either way;
+// off means every run replays its own warmup trace.
+func SetWarmupSharing(on bool) { warmupSharing.Store(on) }
+
+// WarmupSharingStats returns how many runs restored a shared warm
+// checkpoint and how many fell back to a direct warmup.
+func WarmupSharingStats() (restored, fellBack int64) {
+	return warmRestores.Load(), warmFallbacks.Load()
+}
+
+// warmKey addresses a shared warm checkpoint. Deliberately narrower than
+// appKey: no layout, no MC placement, no scale name — warm state depends
+// on none of them, and the narrow key is what collapses the per-layout
+// warmups of a figure (and across figures) into one.
+func warmKey(bench string, n, entries, lineBytes int, prefetch bool) string {
+	return fmt.Sprintf("warm|%s|n=%d|e=%d|lb=%d|pf=%t", bench, n, entries, lineBytes, prefetch)
+}
+
+// warmSystem brings the freshly built s to its post-warmup state, via a
+// shared checkpoint when sharing is enabled and applicable. Equivalent to
+// s.Warmup(sc.CMPWarmupEntries) bit for bit.
+func warmSystem(s *cmp.System, l core.Layout, bench string, sc Scale) {
+	entries := sc.CMPWarmupEntries
+	if !warmupSharing.Load() || !runcache.Enabled() || entries <= 0 {
+		s.Warmup(entries)
+		return
+	}
+	n := l.Mesh.NumTerminals()
+	key := warmKey(bench, n, entries, s.LineBytes(), s.PrefetchEnabled())
+	snap, err := runcache.For(key, func() ([]byte, error) {
+		t, err := warmTemplate(l, bench, s.PrefetchEnabled())
+		if err != nil {
+			return nil, err
+		}
+		t.Warmup(entries)
+		return t.WarmSnapshot()
+	})
+	if err == nil && len(snap) > 0 {
+		if rerr := s.RestoreWarmSnapshot(snap); rerr == nil {
+			warmRestores.Add(1)
+			return
+		}
+	}
+	// Defensive: a failed restore degrades to the direct path, which
+	// produces the identical state (just slower).
+	warmFallbacks.Add(1)
+	s.Warmup(entries)
+}
+
+// warmTemplate builds a minimal system to generate a warm checkpoint: the
+// baseline layout of the same size with the bench's standard trace
+// generators. Its warm state equals that of any same-sized layout
+// (TestWarmSnapshotSharedAcrossLayouts).
+func warmTemplate(l core.Layout, bench string, prefetch bool) (*cmp.System, error) {
+	p, err := trace.ProfileByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	n := l.Mesh.NumTerminals()
+	trs := make([]trace.Reader, n)
+	for i := range trs {
+		trs[i] = trace.NewGenerator(p, i, 128)
+	}
+	w, h := l.Mesh.Dims()
+	return cmp.New(cmp.Config{Layout: core.NewBaseline(w, h), Traces: trs, Prefetch: prefetch})
+}

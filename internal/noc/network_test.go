@@ -26,19 +26,15 @@ func newMeshNet(t testing.TB) *Network {
 	return n
 }
 
-// runUntilQuiesced steps the network until no traffic remains.
+// runUntilQuiesced steps the network until no traffic remains, using the
+// idle fast-forward (StepUntilQuiesced) instead of a bare Step spin; the
+// two are behaviorally identical (gated by the golden fingerprints and
+// TestStepUntilQuiescedMatchesStepLoop).
 func runUntilQuiesced(t testing.TB, n *Network, maxCycles int) {
 	t.Helper()
-	for i := 0; i < maxCycles; i++ {
-		if err := n.Step(); err != nil {
-			t.Fatal(err)
-		}
-		if n.Quiesced() {
-			return
-		}
+	if _, err := n.StepUntilQuiesced(int64(maxCycles)); err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("network did not quiesce within %d cycles (%d flits in flight, %d queued)",
-		maxCycles, n.InFlight(), n.queuedPackets)
 }
 
 func TestSinglePacketZeroLoad(t *testing.T) {

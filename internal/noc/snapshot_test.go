@@ -1,0 +1,406 @@
+package noc
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"heteronoc/internal/ckpt"
+	"heteronoc/internal/fault"
+	"heteronoc/internal/routing"
+	"heteronoc/internal/topology"
+)
+
+// injEvent is one scheduled injection. Snapshot tests drive traffic from
+// precomputed schedules so the exact same packets arrive in both the
+// straight-through and the checkpoint-restored run (the RNG itself lives
+// outside the Network and is not checkpointed).
+type injEvent struct {
+	cycle    int64
+	src, dst int
+	flits    int
+}
+
+func makeSchedule(seed int64, terminals int, cycles int64, rate float64, flits int) []injEvent {
+	rng := rand.New(rand.NewSource(seed))
+	var evs []injEvent
+	for c := int64(1); c <= cycles; c++ {
+		for s := 0; s < terminals; s++ {
+			if rng.Float64() < rate {
+				evs = append(evs, injEvent{cycle: c, src: s, dst: rng.Intn(terminals), flits: flits})
+			}
+		}
+	}
+	return evs
+}
+
+// playSchedule advances net to endCycle, injecting due events. Injection
+// errors (dead terminals, unroutable destinations) are expected during
+// fault runs and are skipped identically on every replay.
+func playSchedule(t testing.TB, n *Network, evs []injEvent, next int, endCycle int64) int {
+	t.Helper()
+	for n.Cycle() < endCycle {
+		at := n.Cycle() + 1 // packets created at the top of the next cycle
+		for next < len(evs) && evs[next].cycle <= at {
+			e := evs[next]
+			next++
+			_ = n.TryInject(&Packet{Src: e.src, Dst: e.dst, NumFlits: e.flits})
+		}
+		if err := n.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return next
+}
+
+type snapCase struct {
+	name    string
+	build   func(t testing.TB) *Network
+	seed    int64
+	rate    float64
+	flits   int
+	mid     int64 // checkpoint cycle
+	end     int64
+	workers int
+}
+
+func snapCases() []snapCase {
+	mk := func(workers int) func(t testing.TB) *Network {
+		return func(t testing.TB) *Network {
+			n := newMeshNet(t)
+			if workers > 0 {
+				n.SetShardWorkers(workers)
+				t.Cleanup(n.Close)
+			}
+			return n
+		}
+	}
+	faulty := func(t testing.TB) *Network {
+		m := topology.NewMesh(8, 8)
+		plan := &fault.Plan{}
+		plan.FailLink(400, m.RouterAt(3, 3), topology.PortEast)
+		plan.FailRouter(700, m.RouterAt(5, 5))
+		// Transient window straddling the checkpoint cycle (600): the
+		// snapshot is taken mid-window with the drop mode active.
+		plan.AddTransient(550, m.RouterAt(2, 2), topology.PortEast, 120, false)
+		plan.AddTransient(590, m.RouterAt(4, 1), topology.PortNorth, 80, true)
+		return faultMeshNet(t, plan)
+	}
+	return []snapCase{
+		{name: "mesh_low", build: mk(0), seed: 11, rate: 0.02, flits: 6, mid: 500, end: 1500},
+		{name: "mesh_high", build: mk(0), seed: 12, rate: 0.06, flits: 6, mid: 777, end: 1600},
+		{name: "sharded2", build: mk(2), seed: 13, rate: 0.05, flits: 6, mid: 640, end: 1500, workers: 2},
+		{name: "faults_midwindow", build: faulty, seed: 14, rate: 0.04, flits: 6, mid: 600, end: 2000},
+	}
+}
+
+// TestSnapshotRoundTripMidRun checkpoints at an arbitrary mid-run cycle,
+// restores into a fresh network, finishes the run, and requires the final
+// fingerprint to be bit-identical to the straight-through run — including
+// mid-fault-window and with the restored network running sharded.
+func TestSnapshotRoundTripMidRun(t *testing.T) {
+	for _, tc := range snapCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := makeSchedule(tc.seed, 64, tc.end, tc.rate, tc.flits)
+
+			straight := tc.build(t)
+			playSchedule(t, straight, evs, 0, tc.end)
+			want := straight.Fingerprint()
+
+			orig := tc.build(t)
+			next := playSchedule(t, orig, evs, 0, tc.mid)
+			midFP := orig.Fingerprint()
+			data, err := orig.Snapshot(nil)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+
+			// The snapshot itself records the mid-run fingerprint.
+			h, err := ckpt.ReadHeader(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Fingerprint != midFP || h.Cycle != tc.mid {
+				t.Fatalf("header (cycle %d, fp %016x) != live (cycle %d, fp %016x)",
+					h.Cycle, h.Fingerprint, tc.mid, midFP)
+			}
+
+			restored := tc.build(t)
+			if err := restored.RestoreSnapshot(data, nil); err != nil {
+				t.Fatalf("RestoreSnapshot: %v", err)
+			}
+			if err := restored.CheckInvariants(); err != nil {
+				t.Fatalf("restored network invariants: %v", err)
+			}
+			playSchedule(t, restored, evs, next, tc.end)
+			if got := restored.Fingerprint(); got != want {
+				t.Errorf("restored run fingerprint %016x != straight-through %016x", got, want)
+			}
+
+			// The original, uninterrupted by the snapshot, must also finish
+			// identically: Snapshot is observation-only.
+			playSchedule(t, orig, evs, next, tc.end)
+			if got := orig.Fingerprint(); got != want {
+				t.Errorf("snapshotted-then-continued fingerprint %016x != straight-through %016x", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreAcrossWorkerCounts restores one checkpoint into
+// networks running with 1, 2 and GOMAXPROCS shard workers; all must
+// finish bit-identical to the sequential straight-through run.
+func TestSnapshotRestoreAcrossWorkerCounts(t *testing.T) {
+	const seed, mid, end = 21, 600, 1500
+	evs := makeSchedule(seed, 64, end, 0.05, 6)
+
+	straight := newMeshNet(t)
+	playSchedule(t, straight, evs, 0, end)
+	want := straight.Fingerprint()
+
+	orig := newMeshNet(t)
+	next := playSchedule(t, orig, evs, 0, mid)
+	data, err := orig.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		restored := newMeshNet(t)
+		restored.SetShardWorkers(workers)
+		t.Cleanup(restored.Close)
+		if err := restored.RestoreSnapshot(data, nil); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		playSchedule(t, restored, evs, next, end)
+		if got := restored.Fingerprint(); got != want {
+			t.Errorf("workers=%d: fingerprint %016x != sequential %016x", workers, got, want)
+		}
+	}
+}
+
+// TestSnapshotRejectsMismatchedTarget verifies a checkpoint refuses to
+// load into a differently shaped network instead of corrupting it.
+func TestSnapshotRejectsMismatchedTarget(t *testing.T) {
+	n := newMeshNet(t)
+	data, err := n.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := topology.NewMesh(4, 4)
+	small, err := New(Config{
+		Topo:          m,
+		Routing:       routing.NewXY(m),
+		Routers:       []RouterConfig{{VCs: 3, BufDepth: 5}},
+		FlitWidthBits: 192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.RestoreSnapshot(data, nil); err == nil {
+		t.Fatal("restore into a 4x4 mesh accepted an 8x8 checkpoint")
+	}
+
+	// A stepped target is not fresh.
+	stepped := newMeshNet(t)
+	if err := stepped.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stepped.RestoreSnapshot(data, nil); err == nil {
+		t.Fatal("restore into a stepped network was accepted")
+	}
+}
+
+// TestSnapshotCorruptionIsRejected flips bytes across the checkpoint and
+// requires every corruption to be caught (by CRC) rather than restored.
+func TestSnapshotCorruptionIsRejected(t *testing.T) {
+	n := newMeshNet(t)
+	evs := makeSchedule(31, 64, 300, 0.05, 6)
+	playSchedule(t, n, evs, 0, 300)
+	data, err := n.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i += len(data)/64 + 1 {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x20
+		target := newMeshNet(t)
+		if err := target.RestoreSnapshot(bad, nil); err == nil {
+			t.Fatalf("corrupted byte %d restored without error", i)
+		}
+	}
+	if err := newMeshNet(t).RestoreSnapshot(data[:len(data)/2], nil); err == nil {
+		t.Fatal("truncated checkpoint restored without error")
+	}
+}
+
+// TestReliableSnapshotWithPendingTimers checkpoints the reliability layer
+// while transfers are pending retransmission (a fault plan guarantees
+// losses) and requires the restored run to finish with identical network
+// and reliability fingerprints.
+func TestReliableSnapshotWithPendingTimers(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	newPlan := func() *fault.Plan {
+		plan := &fault.Plan{}
+		plan.FailLink(200, m.RouterAt(3, 3), topology.PortEast)
+		plan.AddTransient(150, m.RouterAt(4, 4), topology.PortNorth, 100, false)
+		return plan
+	}
+	build := func() *Reliable {
+		return NewReliable(faultMeshNet(t, newPlan()), ReliableConfig{Timeout: 256, MaxRetries: 6})
+	}
+
+	const terminals, end = 64, 6000
+	sends := makeSchedule(41, terminals, 400, 0.03, 6)
+
+	run := func(rel *Reliable, next int, endCycle int64, snapshotAt int64) (int, []byte) {
+		var snap []byte
+		for rel.net.Cycle() < endCycle {
+			if snapshotAt > 0 && rel.net.Cycle() == snapshotAt {
+				var err error
+				if snap, err = rel.Snapshot(); err != nil {
+					t.Fatalf("Reliable.Snapshot: %v", err)
+				}
+				if rel.Pending() == 0 {
+					t.Fatal("test expected pending transfers at the snapshot point")
+				}
+				return next, snap
+			}
+			at := rel.net.Cycle() + 1
+			for next < len(sends) && sends[next].cycle <= at {
+				e := sends[next]
+				next++
+				_, _ = rel.Send(e.src, e.dst, e.flits, 0, int64(e.src)<<32|int64(e.dst))
+			}
+			if err := rel.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if rel.Quiesced() && next >= len(sends) {
+				break
+			}
+		}
+		return next, nil
+	}
+
+	straight := build()
+	run(straight, 0, end, 0)
+	wantNet := straight.net.Fingerprint()
+	wantRel := straight.Stats().Fingerprint()
+
+	orig := build()
+	next, snap := run(orig, 0, end, 300) // mid transient window, retries pending
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+
+	restored := build()
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("Reliable.RestoreSnapshot: %v", err)
+	}
+	if err := restored.net.CheckInvariants(); err != nil {
+		t.Fatalf("restored invariants: %v", err)
+	}
+	run(restored, next, end, 0)
+	if got := restored.net.Fingerprint(); got != wantNet {
+		t.Errorf("restored network fingerprint %016x != straight-through %016x", got, wantNet)
+	}
+	if got := restored.Stats().Fingerprint(); got != wantRel {
+		t.Errorf("restored reliable fingerprint %016x != straight-through %016x", got, wantRel)
+	}
+
+	// The snapshotted original finishes identically too.
+	run(orig, next, end, 0)
+	if got := orig.net.Fingerprint(); got != wantNet {
+		t.Errorf("continued network fingerprint %016x != straight-through %016x", got, wantNet)
+	}
+}
+
+// TestStepUntilQuiescedMatchesStepLoop pins the idle fast-forward against
+// the plain Step spin: identical fingerprints (cycle count included) on a
+// drain from a loaded state.
+func TestStepUntilQuiescedMatchesStepLoop(t *testing.T) {
+	load := func(n *Network) {
+		rng := rand.New(rand.NewSource(51))
+		for c := 0; c < 200; c++ {
+			for s := 0; s < 64; s++ {
+				if rng.Float64() < 0.05 {
+					n.Inject(&Packet{Src: s, Dst: rng.Intn(64), NumFlits: 6})
+				}
+			}
+			if err := n.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	spin := newMeshNet(t)
+	load(spin)
+	for !spin.Quiesced() {
+		if err := spin.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fast := newMeshNet(t)
+	load(fast)
+	if _, err := fast.StepUntilQuiesced(100000); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := spin.Fingerprint(), fast.Fingerprint(); a != b {
+		t.Errorf("fast-forward fingerprint %016x != spin %016x", b, a)
+	}
+	if spin.Cycle() != fast.Cycle() {
+		t.Errorf("fast-forward stopped at cycle %d, spin at %d", fast.Cycle(), spin.Cycle())
+	}
+}
+
+// TestReliableStepUntilQuiescedMatchesStepLoop pins the timer-aware
+// fast-forward: a lossy run whose tail is dominated by retransmission
+// timeouts must finish at the same cycle with the same fingerprints.
+func TestReliableStepUntilQuiescedMatchesStepLoop(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	newPlan := func() *fault.Plan {
+		plan := &fault.Plan{}
+		plan.AddTransient(50, m.RouterAt(3, 3), topology.PortEast, 200, false)
+		return plan
+	}
+	load := func(rel *Reliable) {
+		rng := rand.New(rand.NewSource(61))
+		for c := 0; c < 120; c++ {
+			for s := 0; s < 64; s++ {
+				if rng.Float64() < 0.02 {
+					_, _ = rel.Send(s, rng.Intn(64), 6, 0, nil)
+				}
+			}
+			if err := rel.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	spin := NewReliable(faultMeshNet(t, newPlan()), ReliableConfig{Timeout: 512})
+	load(spin)
+	for !spin.Quiesced() {
+		if err := spin.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fast := NewReliable(faultMeshNet(t, newPlan()), ReliableConfig{Timeout: 512})
+	load(fast)
+	if _, err := fast.StepUntilQuiesced(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := spin.net.Fingerprint(), fast.net.Fingerprint(); a != b {
+		t.Errorf("fast-forward net fingerprint %016x != spin %016x", b, a)
+	}
+	if a, b := spin.Stats().Fingerprint(), fast.Stats().Fingerprint(); a != b {
+		t.Errorf("fast-forward reliable fingerprint %016x != spin %016x", b, a)
+	}
+	if spin.net.Cycle() != fast.net.Cycle() {
+		t.Errorf("fast-forward stopped at cycle %d, spin at %d", fast.net.Cycle(), spin.net.Cycle())
+	}
+}

@@ -14,10 +14,11 @@ import (
 // cmd/experiments result file, so any artifact can be traced back to the
 // exact recipe that produced it.
 //
-// Everything except WallTimeSec is deterministic: two identical runs of a
-// deterministic simulator produce byte-identical manifests modulo wall
-// time — a property pinned by TestManifestDeterministic. Canonical renders
-// that identity form (wall time zeroed).
+// Everything except WallTimeSec and the disk-tier counters (which depend
+// on what earlier processes cached) is deterministic: two identical runs
+// of a deterministic simulator produce byte-identical manifests modulo
+// those fields — a property pinned by TestManifestDeterministic. Canonical
+// renders that identity form (nondeterministic fields zeroed).
 type Manifest struct {
 	// Tool names the producing command ("experiments", "noxsim", ...).
 	Tool string `json:"tool"`
@@ -40,7 +41,13 @@ type Manifest struct {
 	// same probe sequence, hence the same hit pattern.
 	RuncacheHits   int64 `json:"runcache_hits"`
 	RuncacheMisses int64 `json:"runcache_misses"`
-	// WallTimeSec is the only nondeterministic field: elapsed wall time.
+	// DiskHits/DiskMisses/DiskEvictions are the persistent disk-tier
+	// counters. Like wall time they depend on what earlier processes left
+	// in the cache directory, so Canonical zeroes them.
+	DiskHits      int64 `json:"runcache_disk_hits,omitempty"`
+	DiskMisses    int64 `json:"runcache_disk_misses,omitempty"`
+	DiskEvictions int64 `json:"runcache_disk_evictions,omitempty"`
+	// WallTimeSec is elapsed wall time, nondeterministic by nature.
 	WallTimeSec float64 `json:"wall_time_sec"`
 }
 
@@ -50,6 +57,7 @@ type Manifest struct {
 func (m *Manifest) Canonical() []byte {
 	c := *m
 	c.WallTimeSec = 0
+	c.DiskHits, c.DiskMisses, c.DiskEvictions = 0, 0, 0
 	// Deep-copy and sort the slices JSON would otherwise render in caller
 	// order; run order is part of the recipe, so Experiments stays as-is,
 	// but Seeds are a set.

@@ -1,0 +1,223 @@
+package runcache
+
+// Persistent disk tier. When a cache directory is configured (the
+// -cachedir flag of cmd/experiments, default ~/.cache/heteronoc), memoized
+// results also survive the process: a For miss consults the disk before
+// running the recipe, and a computed result is written back. Keys reuse
+// the same canonical strings as the in-memory tier; the file name is the
+// SHA-256 of a versioned prefix plus the key, so any format change bumps
+// diskVersion and old entries simply miss.
+//
+// The tier is strictly best-effort and corruption-tolerant: a missing,
+// truncated, mis-versioned or bit-flipped file — or a value that fails to
+// gob-decode — is a miss, never an error. Files carry a magic string and
+// a CRC32 of the payload; writes go to a temp file and rename into place
+// so readers never observe partial entries.
+//
+// Disk lookups and stores run inside the in-memory entry's sync.Once, so
+// singleflight is preserved across tiers: concurrent callers of one key
+// perform at most one disk read and one recipe execution between them.
+// Disabling the cache (SetEnabled(false), i.e. -nocache) bypasses the
+// disk tier entirely in both directions.
+//
+// A byte cap (SetMaxBytes, the -cachesize flag) is enforced after each
+// store by evicting least-recently-used files — hits refresh a file's
+// mtime — until the total is back under the cap.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	diskMagic = "HNOCRC1\n"
+	// diskVersion is folded into every file name. Bump it whenever the
+	// envelope or any cached value's encoding changes; stale entries then
+	// hash to different names and age out via the LRU cap.
+	diskVersion = 1
+	diskExt     = ".rc"
+)
+
+var (
+	diskMu  sync.Mutex
+	diskDir string
+	diskMax int64
+
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
+	diskEvictions atomic.Int64
+)
+
+// SetDir configures the disk tier's directory, creating it if needed.
+// An empty dir disables the tier.
+func SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	diskMu.Lock()
+	diskDir = dir
+	diskMu.Unlock()
+	return nil
+}
+
+// Dir returns the configured disk directory ("" when disabled).
+func Dir() string {
+	diskMu.Lock()
+	defer diskMu.Unlock()
+	return diskDir
+}
+
+// SetMaxBytes caps the disk tier's total size; 0 means unlimited.
+// Least-recently-used entries are evicted after each store.
+func SetMaxBytes(n int64) {
+	diskMu.Lock()
+	diskMax = n
+	diskMu.Unlock()
+}
+
+// DiskStats returns cumulative disk-tier counters. A hit loaded a value
+// from disk; a miss consulted the disk without finding a usable entry
+// (absent, corrupt or undecodable all count the same).
+func DiskStats() (hit, miss, evicted int64) {
+	return diskHits.Load(), diskMisses.Load(), diskEvictions.Load()
+}
+
+// ResetDiskStats zeroes the disk counters (tests).
+func ResetDiskStats() {
+	diskHits.Store(0)
+	diskMisses.Store(0)
+	diskEvictions.Store(0)
+}
+
+func diskPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("heteronoc-runcache|v%d|%s", diskVersion, key)))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])+diskExt)
+}
+
+// diskLoad returns the cached value for key if the disk tier holds a
+// valid, decodable entry. Every failure mode is a miss.
+func diskLoad[T any](key string) (T, bool) {
+	var zero T
+	dir := Dir()
+	if dir == "" || !enabled.Load() {
+		return zero, false
+	}
+	p := diskPath(dir, key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		diskMisses.Add(1)
+		return zero, false
+	}
+	head := len(diskMagic) + 4
+	if len(data) < head || string(data[:len(diskMagic)]) != diskMagic {
+		diskMisses.Add(1)
+		return zero, false
+	}
+	want := binary.LittleEndian.Uint32(data[len(diskMagic):])
+	payload := data[head:]
+	if crc32.ChecksumIEEE(payload) != want {
+		diskMisses.Add(1)
+		return zero, false
+	}
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
+		diskMisses.Add(1)
+		return zero, false
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now) // refresh LRU position; failure is harmless
+	diskHits.Add(1)
+	return v, true
+}
+
+// diskStore writes v for key. Errors are swallowed: the disk tier never
+// fails a run, it only misses next time.
+func diskStore[T any](key string, v T) {
+	dir := Dir()
+	if dir == "" || !enabled.Load() {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(diskMagic)
+	buf.Write(make([]byte, 4)) // CRC placeholder
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return // unserializable value: memory-only entry
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[len(diskMagic):], crc32.ChecksumIEEE(b[len(diskMagic)+4:]))
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, diskPath(dir, key)); err != nil {
+		os.Remove(name)
+		return
+	}
+	evictOverCap(dir)
+}
+
+// evictOverCap removes least-recently-used entries until the tier fits
+// the byte cap.
+func evictOverCap(dir string) {
+	diskMu.Lock()
+	max := diskMax
+	diskMu.Unlock()
+	if max <= 0 {
+		return
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+diskExt))
+	if err != nil {
+		return
+	}
+	type fileAge struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileAge
+	var total int64
+	for _, p := range names {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		files = append(files, fileAge{p, fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	if total <= max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= max {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			diskEvictions.Add(1)
+		}
+	}
+}

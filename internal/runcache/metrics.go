@@ -31,4 +31,13 @@ func RegisterMetrics(reg *obs.Registry) {
 			}
 			return 0
 		})
+	reg.RegisterCounter("runcache_disk_hits_total",
+		"For calls satisfied from the persistent disk tier", nil,
+		func() float64 { return float64(diskHits.Load()) })
+	reg.RegisterCounter("runcache_disk_misses_total",
+		"disk-tier lookups that found no usable entry", nil,
+		func() float64 { return float64(diskMisses.Load()) })
+	reg.RegisterCounter("runcache_disk_evictions_total",
+		"disk-tier entries evicted to enforce the byte cap", nil,
+		func() float64 { return float64(diskEvictions.Load()) })
 }

@@ -1,4 +1,6 @@
-// Package runcache memoizes completed simulation runs within one process.
+// Package runcache memoizes completed simulation runs — in memory within
+// one process, and optionally across processes via a content-addressed
+// disk tier (see disk.go and SetDir).
 //
 // Figure sweeps and the design-space exploration repeatedly evaluate the
 // same (layout, traffic, seed, budget) recipe: Fig10's mesh columns are
@@ -23,7 +25,8 @@
 // experiment already does.
 //
 // Disable with SetEnabled(false) (the -nocache flag of cmd/experiments):
-// every Do then runs its function directly. Because runs are
+// every Do then runs its function directly and the disk tier is bypassed
+// in both directions. Because runs are
 // deterministic, outputs are identical either way — a property pinned by
 // TestRunCacheTransparent in the experiments package.
 package runcache
@@ -96,9 +99,22 @@ func Do(key string, fn func() (any, error)) (any, error) {
 	return e.val, e.err
 }
 
-// For runs fn through the cache with a typed result.
+// For runs fn through the cache with a typed result. When a disk tier is
+// configured (SetDir), a memory miss consults the disk before running fn,
+// and a freshly computed result is written back. Both happen inside the
+// entry's once-body, so singleflight spans the tiers: one disk read and at
+// most one execution per key, no matter how many goroutines race.
 func For[T any](key string, fn func() (T, error)) (T, error) {
-	v, err := Do(key, func() (any, error) { return fn() })
+	v, err := Do(key, func() (any, error) {
+		if v, ok := diskLoad[T](key); ok {
+			return v, nil
+		}
+		v, err := fn()
+		if err == nil {
+			diskStore(key, v)
+		}
+		return v, err
+	})
 	if v == nil {
 		var zero T
 		return zero, err

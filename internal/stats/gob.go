@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Summary's fields are unexported so gob cannot serialize it directly,
+// but figure results carrying summaries flow through the persistent run
+// cache. These methods give it a stable binary form: five fixed-width
+// big-endian words. The encoding is versionless on purpose — any change
+// to the layout must instead bump the cache's key-prefix version so old
+// entries miss rather than decode wrongly.
+
+// GobEncode implements gob.GobEncoder.
+func (s *Summary) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	binary.Write(&b, binary.BigEndian, s.n)
+	binary.Write(&b, binary.BigEndian, math.Float64bits(s.mean))
+	binary.Write(&b, binary.BigEndian, math.Float64bits(s.m2))
+	binary.Write(&b, binary.BigEndian, math.Float64bits(s.min))
+	binary.Write(&b, binary.BigEndian, math.Float64bits(s.max))
+	return b.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Summary) GobDecode(data []byte) error {
+	if len(data) != 5*8 {
+		return fmt.Errorf("stats: Summary encoding is %d bytes, want 40", len(data))
+	}
+	s.n = int64(binary.BigEndian.Uint64(data[0:]))
+	s.mean = math.Float64frombits(binary.BigEndian.Uint64(data[8:]))
+	s.m2 = math.Float64frombits(binary.BigEndian.Uint64(data[16:]))
+	s.min = math.Float64frombits(binary.BigEndian.Uint64(data[24:]))
+	s.max = math.Float64frombits(binary.BigEndian.Uint64(data[32:]))
+	return nil
+}

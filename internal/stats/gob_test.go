@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestSummaryGobRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3.5, -1.25, 9, 0.001, 42} {
+		s.Add(x)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed summary: got %+v want %+v", got, s)
+	}
+	// Decoded summaries keep accumulating correctly.
+	s.Add(7)
+	got.Add(7)
+	if got != s {
+		t.Fatalf("post-decode Add diverged: got %+v want %+v", got, s)
+	}
+}
+
+func TestSummaryGobRejectsBadLength(t *testing.T) {
+	var s Summary
+	if err := s.GobDecode(make([]byte, 39)); err == nil {
+		t.Fatal("decoded a 39-byte payload")
+	}
+}

@@ -12,6 +12,12 @@
 # "fault_sweep_ns_per_op" field so fault-stack regressions are one jq
 # expression away (`jq '.[-1].fault_sweep_ns_per_op' BENCH_noc.json`).
 #
+# The checkpoint stack is surfaced the same way: "ckpt_restore_ns_per_op"
+# (BenchmarkCheckpointRestore: deserializing a mid-run network state) and
+# "warm_regen_speedup" (a cold-vs-warm double run of cmd/experiments in
+# fresh processes sharing one initially-empty disk cache; the script fails
+# if the two outputs are not byte-identical).
+#
 # The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
 # folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
 # a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
@@ -84,7 +90,30 @@ go test -run '^$' -bench . -benchmem -count 5 . | tee "$run"
 	echo
 } >> "$raw"
 
-entry=$(awk -v commit="$commit" -v date="$date" '
+# Cold-vs-warm regeneration: the same figure set twice, in fresh processes,
+# sharing one initially-empty disk cache. The warm run must render
+# byte-identical markdown (the cache is an optimization, never an input)
+# and its speedup is the headline number of the persistent run cache.
+expbin=$(mktemp)
+cachedir=$(mktemp -d)
+cold_out=$(mktemp)
+warm_out=$(mktemp)
+trap 'rm -rf "$run" "$expbin" "$cachedir" "$cold_out" "$warm_out"' EXIT
+go build -o "$expbin" ./cmd/experiments
+t0=$(date +%s%N)
+"$expbin" -exp fig7,fig10 -scale quick -cachedir "$cachedir" -manifest none -out "$cold_out" 2>/dev/null
+t1=$(date +%s%N)
+"$expbin" -exp fig7,fig10 -scale quick -cachedir "$cachedir" -manifest none -out "$warm_out" 2>/dev/null
+t2=$(date +%s%N)
+cmp -s "$cold_out" "$warm_out" || {
+	echo "bench: warm regeneration output differs from cold run" >&2
+	exit 1
+}
+speedup=$(awk -v c=$((t1 - t0)) -v w=$((t2 - t1)) \
+	'BEGIN { printf "%.1f", c / (w > 0 ? w : 1) }')
+echo "warm_regen_speedup ${speedup}x (cold $(((t1 - t0) / 1000000))ms, warm $(((t2 - t1) / 1000000))ms)" >&2
+
+entry=$(awk -v commit="$commit" -v date="$date" -v speedup="$speedup" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
@@ -108,6 +137,10 @@ function asort_simple(v, m,   i, j, t) {
 }
 END {
 	printf "{\"commit\": \"%s\", \"date\": \"%s\", ", commit, date
+	if (speedup != "")
+		printf "\"warm_regen_speedup\": %s, ", speedup
+	if ("BenchmarkCheckpointRestore" in ns)
+		printf "\"ckpt_restore_ns_per_op\": %g, ", median(ns["BenchmarkCheckpointRestore"])
 	if ("BenchmarkFaultSweep" in ns)
 		printf "\"fault_sweep_ns_per_op\": %g, ", median(ns["BenchmarkFaultSweep"])
 	if ("BenchmarkNetworkCycle" in ns) {
