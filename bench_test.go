@@ -126,6 +126,43 @@ func BenchmarkHeteroNetworkCycle(b *testing.B) {
 	}
 }
 
+// benchNetworkCycleScaled is BenchmarkNetworkCycle generalized to a w-wide
+// square mesh. The injection rate is bisection-scaled (0.03 at 8x8, then
+// x8/w) so every size runs at a comparable fraction of its own saturation
+// load instead of drowning the big meshes. It reports ns/router alongside
+// ns/op so the per-router cycle cost — the number that should stay flat if
+// the engine scales linearly — is visible directly in the bench output.
+func benchNetworkCycleScaled(b *testing.B, w int) {
+	l := core.NewBaseline(w, w)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	n := w * w
+	gen := traffic.UniformRandom{N: n}
+	proc := traffic.Bernoulli{P: 0.03 * 8 / float64(w)}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < n; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/router")
+}
+
+// BenchmarkNetworkCycle16x16 and -32x32 track the cycle cost at 256 and
+// 1024 routers; scripts/bench.sh surfaces the 32x32 per-router cost as
+// cycle_ns_per_router_32x32.
+func BenchmarkNetworkCycle16x16(b *testing.B) { benchNetworkCycleScaled(b, 16) }
+func BenchmarkNetworkCycle32x32(b *testing.B) { benchNetworkCycleScaled(b, 32) }
+
 // BenchmarkNetworkCycleTraced is BenchmarkNetworkCycle with a full-detail
 // flit tracer installed (macro + VC/SA/credit events into per-router
 // rings). The delta against BenchmarkNetworkCycle is the cost of tracing a
@@ -224,20 +261,62 @@ func BenchmarkTableRouteBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkFaultTableRebuild measures the cost of recomputing all routes
-// after a permanent failure (one Dijkstra per destination + the escape
-// forest) — the latency every link death charges the simulation.
+// BenchmarkFaultTableRebuild measures a from-scratch rebuild of all routes
+// over a faulted 8x8 mesh — the worst-case latency a Rebuild call charges
+// the simulation. The two fault sets are not nested, so every transition
+// resurrects a link and defeats the incremental path: each iteration is a
+// genuine full rebuild.
 func BenchmarkFaultTableRebuild(b *testing.B) {
 	m := topology.NewMesh(8, 8)
 	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
 	ft := routing.NewFaultTable(m, routing.FaultTableConfig{Big: l.BigSet()})
-	ls := topology.NewLinkState(m)
-	ls.FailLink(m.RouterAt(3, 3), topology.PortEast)
-	ls.FailLink(m.RouterAt(4, 4), topology.PortNorth)
-	ls.FailRouter(m.RouterAt(1, 6))
+	lsA := topology.NewLinkState(m)
+	lsA.FailLink(m.RouterAt(3, 3), topology.PortEast)
+	lsA.FailLink(m.RouterAt(4, 4), topology.PortNorth)
+	lsA.FailRouter(m.RouterAt(1, 6))
+	lsB := topology.NewLinkState(m)
+	lsB.FailLink(m.RouterAt(5, 2), topology.PortSouth)
+	lsB.FailLink(m.RouterAt(2, 5), topology.PortWest)
+	lsB.FailRouter(m.RouterAt(6, 1))
+	states := [2]*topology.LinkState{lsA, lsB}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ft.Rebuild(ls)
+		ft.Rebuild(states[i&1])
+	}
+}
+
+// BenchmarkFaultTableIncremental isolates the incremental path: absorbing
+// one additional link death into an already-built 8x8 table. The rollback
+// to the base fault set between iterations is untimed.
+func BenchmarkFaultTableIncremental(b *testing.B) {
+	m := topology.NewMesh(8, 8)
+	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	ft := routing.NewFaultTable(m, routing.FaultTableConfig{Big: l.BigSet()})
+	base := topology.NewLinkState(m)
+	base.FailLink(m.RouterAt(3, 3), topology.PortEast)
+	plus := base.Clone()
+	plus.FailLink(m.RouterAt(5, 2), topology.PortSouth)
+	ft.Rebuild(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Rebuild(plus) // one new dead link over the stored DAG state
+		b.StopTimer()
+		ft.Rebuild(base) // untimed rollback (full rebuild)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTableBuild1024 measures the full route construction for a
+// 32x32 mesh (1024 routers, 1024 destinations): the table the scale
+// experiments build once per topology. The acceptance bar is sub-quadratic
+// scaling — faster than 16 sequential 8x8 Dijkstra builds of the heap era.
+func BenchmarkTableBuild1024(b *testing.B) {
+	m := topology.NewMesh(32, 32)
+	l := core.NewLayout(core.PlacementDiagonal, 32, 32, true)
+	big := l.BigSet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.NewFaultTable(m, routing.FaultTableConfig{Big: big})
 	}
 }
 

@@ -87,6 +87,28 @@ func (m *MeshModel) walk(src, dst int) int {
 // AvgHops returns the uniform-random mean hop count (router-to-router).
 func (m *MeshModel) AvgHops() float64 { return m.avgHops }
 
+// MeanHops is the closed-form uniform-random mean hop count on a w x h
+// mesh (or torus if wrap), over ordered src != dst pairs — the same
+// quantity MeshModel.AvgHops measures by walking every pair, but in O(1),
+// for any N x M including non-square. Per dimension, the mean distance of
+// two independent uniform coordinates is (w^2-1)/(3w) on a line and w/4
+// (even w) or (w^2-1)/(4w) (odd w) on a ring; summing dimensions counts
+// all n^2 ordered pairs, so rescale by n/(n-1) to exclude the n
+// zero-distance self pairs.
+func MeanHops(w, h int, wrap bool) float64 {
+	dim := func(k int) float64 {
+		if wrap {
+			if k%2 == 0 {
+				return float64(k) / 4
+			}
+			return float64(k*k-1) / float64(4*k)
+		}
+		return float64(k*k-1) / float64(3*k)
+	}
+	n := float64(w * h)
+	return (dim(w) + dim(h)) * n / (n - 1)
+}
+
 // slots returns the flit bandwidth of a channel under the layout.
 func (m *MeshModel) slots(r, p int) float64 {
 	if !m.Layout.IsHetero() || !m.Layout.LinkRedist {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"heteronoc/internal/core"
+	"heteronoc/internal/topology"
 	"heteronoc/internal/traffic"
 )
 
@@ -16,6 +17,39 @@ func TestAvgHopsMatchesTheory(t *testing.T) {
 	want := 2.0 * 63 / 24 * 64 / 63
 	if math.Abs(m.AvgHops()-want) > 0.01 {
 		t.Errorf("avg hops %.3f, want %.3f", m.AvgHops(), want)
+	}
+}
+
+func TestMeanHopsClosedForm(t *testing.T) {
+	// The closed form must agree with MeshModel's exhaustive pair walk on
+	// meshes of any shape, square or not.
+	for _, tc := range []struct{ w, h int }{{2, 2}, {4, 8}, {8, 4}, {8, 8}, {16, 16}, {3, 5}} {
+		model := NewMeshModel(core.NewBaseline(tc.w, tc.h), 6)
+		want := MeanHops(tc.w, tc.h, false)
+		if math.Abs(model.AvgHops()-want) > 1e-9 {
+			t.Errorf("%dx%d mesh: walked %.6f, closed form %.6f", tc.w, tc.h, model.AvgHops(), want)
+		}
+	}
+	// And with a brute-force HopsXY average on the torus, where wraparound
+	// changes the per-dimension mean (w/4 even, (w^2-1)/4w odd).
+	for _, tc := range []struct{ w, h int }{{4, 4}, {4, 8}, {5, 3}, {8, 8}} {
+		tor := topology.NewTorus(tc.w, tc.h)
+		n := tc.w * tc.h
+		sum, pairs := 0, 0
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				sum += tor.HopsXY(s, d)
+				pairs++
+			}
+		}
+		got := float64(sum) / float64(pairs)
+		want := MeanHops(tc.w, tc.h, true)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%dx%d torus: brute force %.6f, closed form %.6f", tc.w, tc.h, got, want)
+		}
 	}
 }
 

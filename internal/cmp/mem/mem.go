@@ -269,13 +269,15 @@ func Tiles(p Placement, w, h int) []int {
 		}
 		return out
 	case PlacementDiamond:
-		// Two controllers per row/column arranged as a diamond ring at
-		// distance w/4 from the center diamond-wise (Abts et al.'s X
-		// pattern rotated 45 degrees). For 8x8 this yields 16 tiles.
+		// A diamond ring of controllers: all tiles whose Manhattan distance
+		// from the mesh center falls in the band (r-1, r], with r half the
+		// short edge so the ring stays inscribed on non-square meshes
+		// (Abts et al.'s X pattern rotated 45 degrees). For 8x8 r=4 and
+		// this yields 16 tiles.
 		var out []int
 		seen := map[int]bool{}
 		cx, cy := float64(w-1)/2, float64(h-1)/2
-		r := float64(w) / 2
+		r := float64(min(w, h)) / 2
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				d := abs64(float64(x)-cx) + abs64(float64(y)-cy)

@@ -137,6 +137,43 @@ func TestPlacements(t *testing.T) {
 	}
 }
 
+func TestPlacementsNonSquare(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{4, 8}, {8, 4}, {16, 16}, {32, 32}, {2, 2}} {
+		n := tc.w * tc.h
+		for _, p := range []Placement{PlacementCorners, PlacementDiagonal, PlacementDiamond} {
+			tiles := Tiles(p, tc.w, tc.h)
+			if len(tiles) == 0 {
+				t.Errorf("%s %dx%d: no tiles", p, tc.w, tc.h)
+			}
+			seen := map[int]bool{}
+			for _, tl := range tiles {
+				if tl < 0 || tl >= n {
+					t.Errorf("%s %dx%d: tile %d out of range [0,%d)", p, tc.w, tc.h, tl, n)
+				}
+				if seen[tl] {
+					t.Errorf("%s %dx%d: duplicate tile %d", p, tc.w, tc.h, tl)
+				}
+				seen[tl] = true
+			}
+		}
+		// The diamond ring must stay inscribed: every tile within
+		// min(w,h)/2 of the center in Manhattan distance.
+		r := float64(min(tc.w, tc.h)) / 2
+		cx, cy := float64(tc.w-1)/2, float64(tc.h-1)/2
+		for _, tl := range Tiles(PlacementDiamond, tc.w, tc.h) {
+			x, y := float64(tl%tc.w), float64(tl/tc.w)
+			if d := abs64(x-cx) + abs64(y-cy); d > r {
+				t.Errorf("diamond %dx%d: tile %d at distance %.1f > %.1f", tc.w, tc.h, tl, d, r)
+			}
+		}
+	}
+	// 16x16 diamond keeps the paper's two-per-row/column structure at scale.
+	diamond := Tiles(PlacementDiamond, 16, 16)
+	if len(diamond) != 32 {
+		t.Errorf("16x16 diamond count %d, want 32", len(diamond))
+	}
+}
+
 func TestDiamondRowColumnCoverage(t *testing.T) {
 	// The paper places two controllers per row/column of the mesh.
 	diamond := Tiles(PlacementDiamond, 8, 8)

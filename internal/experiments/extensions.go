@@ -30,6 +30,7 @@ func Extensions() []Runner {
 		{"tails", "Latency tail behavior", Tails},
 		{"model", "Analytical cross-validation", Model},
 		{"degradation", "Graceful degradation under link failures", Degradation},
+		{"scale", "Latency scaling to 16x16 and 32x32 meshes", ScaleUp},
 	}
 }
 

@@ -44,7 +44,7 @@ func TestPatternsAllRun(t *testing.T) {
 			t.Errorf("missing pattern %s", p)
 		}
 	}
-	if len(AllWithExtensions()) != 22 {
+	if len(AllWithExtensions()) != 23 {
 		t.Errorf("extensions list wrong: %d", len(AllWithExtensions()))
 	}
 }
@@ -126,6 +126,38 @@ func TestTailsCompress(t *testing.T) {
 	}
 	if r.Metrics["mean_reduction_pct"] <= 0 {
 		t.Errorf("mean reduction %.1f%%, want positive", r.Metrics["mean_reduction_pct"])
+	}
+}
+
+func TestScaleUpDeterministicAndAdvantageous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-router sweeps")
+	}
+	r, err := ScaleUp(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["sharded_fingerprint_match"] != 1 {
+		t.Error("sharded 32x32 run diverged from the sequential run")
+	}
+	for _, w := range scaleWidths {
+		prefix := "mesh" + map[int]string{16: "16", 32: "32"}[w] + "_"
+		for _, k := range []string{"diagonal_latency_reduction_pct", "diagonal_throughput_pct", "diagonal_zeroload_reduction_pct"} {
+			if _, ok := r.Metrics[prefix+k]; !ok {
+				t.Errorf("missing metric %s", prefix+k)
+			}
+		}
+		if r.Metrics[prefix+"baseline_zeroload_ns"] <= 0 {
+			t.Errorf("%dx%d baseline zero-load latency missing", w, w)
+		}
+	}
+	// The hetero advantage needs near-saturation load to show (paper Fig 7);
+	// the tiny unit budget stays deep pre-knee, so only bound the zero-load
+	// cost of heterogeneity: the sparse diagonal must not be a blowup.
+	for _, w := range []string{"mesh16_", "mesh32_"} {
+		if v := r.Metrics[w+"diagonal_zeroload_reduction_pct"]; v < -20 {
+			t.Errorf("%szero-load penalty %.1f%%, want bounded (> -20%%)", w, v)
+		}
 	}
 }
 

@@ -198,7 +198,7 @@ func (n *Network) killPort(op *outputPort, why DropReason) {
 		op.owner[v] = nil
 	}
 	if op.router >= 0 {
-		n.routers[op.router].evMask &^= 1 << uint(op.port)
+		n.evMask[op.router] &^= 1 << uint(op.port)
 	}
 	if !op.isTerm {
 		n.routers[op.link.Router].in[op.link.Port].upstream = nil
@@ -337,7 +337,7 @@ func (n *Network) purgeInputPort(rt *router, pi int, p *Packet) {
 		}
 		if removed > 0 {
 			ip.flits -= removed
-			rt.inFlits -= removed
+			n.inFlits[rt.id] -= int32(removed)
 			n.flitsInNetwork -= removed
 			n.stats.FlitsLost += int64(removed)
 			// The freed buffer slots return their credits to the feeder,
@@ -347,7 +347,7 @@ func (n *Network) purgeInputPort(rt *router, pi int, p *Packet) {
 					up.creditQ.push(creditEvt{vc: vi, at: n.cycle + 1})
 				}
 				if up.router >= 0 {
-					n.routers[up.router].evMask |= 1 << uint(up.port)
+					n.evMask[up.router] |= 1 << uint(up.port)
 				}
 			}
 		}
@@ -376,7 +376,7 @@ func (n *Network) purgeInputPort(rt *router, pi int, p *Packet) {
 		}
 	}
 	if ip.flits == 0 {
-		rt.portMask &^= 1 << uint(pi)
+		n.portMask[rt.id] &^= 1 << uint(pi)
 	}
 }
 
@@ -415,7 +415,7 @@ func (n *Network) filterWire(op *outputPort, p *Packet) {
 		op.wire.push(we)
 	}
 	if op.router >= 0 && op.wire.n == 0 && op.creditQ.n == 0 {
-		n.routers[op.router].evMask &^= 1 << uint(op.port)
+		n.evMask[op.router] &^= 1 << uint(op.port)
 	}
 }
 
@@ -464,7 +464,7 @@ func (n *Network) stalledDump(maxRouters int) string {
 	var b []byte
 	more := 0
 	for r := range n.routers {
-		if n.routers[r].inFlits == 0 {
+		if n.inFlits[r] == 0 {
 			continue
 		}
 		if maxRouters == 0 {

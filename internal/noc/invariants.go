@@ -29,7 +29,7 @@ func (n *Network) CheckInvariants() error {
 				return fmt.Errorf("router %d port %d: %w", r, p, err)
 			}
 		}
-		if err := checkActiveSet(rt); err != nil {
+		if err := n.checkActiveSet(r); err != nil {
 			return fmt.Errorf("router %d: %w", r, err)
 		}
 	}
@@ -46,7 +46,8 @@ func (n *Network) CheckInvariants() error {
 
 // checkActiveSet audits the counters behind the event-aware scheduler
 // against a ground-truth rescan.
-func checkActiveSet(rt *router) error {
+func (n *Network) checkActiveSet(r int) error {
+	rt := &n.routers[r]
 	total := 0
 	for pi := range rt.in {
 		ip := &rt.in[pi]
@@ -73,19 +74,19 @@ func checkActiveSet(rt *router) error {
 		if got != ip.flits {
 			return fmt.Errorf("in[%d]: flit counter %d, buffers hold %d", pi, ip.flits, got)
 		}
-		if (rt.portMask&(1<<pi) != 0) != (got > 0) {
-			return fmt.Errorf("in[%d]: portMask bit %v, buffers hold %d", pi, rt.portMask&(1<<pi) != 0, got)
+		if (n.portMask[r]&(1<<pi) != 0) != (got > 0) {
+			return fmt.Errorf("in[%d]: portMask bit %v, buffers hold %d", pi, n.portMask[r]&(1<<pi) != 0, got)
 		}
 		total += got
 	}
-	if total != rt.inFlits {
-		return fmt.Errorf("router flit counter %d, buffers hold %d", rt.inFlits, total)
+	if total != int(n.inFlits[r]) {
+		return fmt.Errorf("router flit counter %d, buffers hold %d", n.inFlits[r], total)
 	}
 	for pi, op := range rt.out {
 		want := op.wire.len()+op.creditQ.len() > 0
-		if (rt.evMask&(1<<pi) != 0) != want {
+		if (n.evMask[r]&(1<<pi) != 0) != want {
 			return fmt.Errorf("out[%d]: evMask bit %v, queues hold %d events",
-				pi, rt.evMask&(1<<pi) != 0, op.wire.len()+op.creditQ.len())
+				pi, n.evMask[r]&(1<<pi) != 0, op.wire.len()+op.creditQ.len())
 		}
 		for vc := range op.credits {
 			if (op.creditMask&(1<<vc) != 0) != (op.credits[vc] > 0) {

@@ -52,6 +52,23 @@ type Network struct {
 	routers []router
 	nis     []ni
 
+	// Active-set scheduling state in structure-of-arrays form, one element
+	// per router. inFlits counts flits buffered across a router's input
+	// VCs; the allocation stages and the occupancy accumulator skip routers
+	// holding nothing. portMask has a bit set for every input port with
+	// buffered flits, so those stages iterate set bits instead of probing
+	// every port. evMask has a bit set for every output port with queued
+	// wire or credit events; deliver visits only those ports and clears the
+	// bit once a port's queues drain. Hoisted out of the router structs so
+	// scanning a mostly-idle 1024-router mesh touches a few cache lines of
+	// dense counters instead of a thousand scattered structs. All three are
+	// live state, not statistics: they survive ResetStats. Neighboring
+	// elements share cache lines across shard boundaries, but each element
+	// has a single writer per pass, so sharded ticks stay race free.
+	inFlits  []int32
+	portMask []uint32
+	evMask   []uint32
+
 	cycle          int64
 	lastMove       int64
 	flitsInNetwork int
@@ -92,6 +109,9 @@ func New(cfg Config) (*Network, error) {
 	n.escaper, _ = cfg.Routing.(routing.Escaper)
 	topo := cfg.Topo
 	n.routers = make([]router, topo.NumRouters())
+	n.inFlits = make([]int32, topo.NumRouters())
+	n.portMask = make([]uint32, topo.NumRouters())
+	n.evMask = make([]uint32, topo.NumRouters())
 	for r := range n.routers {
 		rt := &n.routers[r]
 		rt.id = r
@@ -118,6 +138,19 @@ func New(cfg Config) (*Network, error) {
 		slots := make([]Flit, radix*rt.cfg.VCs*rt.cfg.BufDepth)
 		wireArena := make([]wireEvt, radix*4)
 		creditArena := make([]creditEvt, radix*4)
+		// The downstream-VC bookkeeping (credits, owners, pending frees) of
+		// all the router's network ports shares three arenas, sliced per
+		// port below, instead of three allocations per port.
+		totalDownVCs := 0
+		for p := 0; p < radix; p++ {
+			if link, ok := topo.Neighbor(r, p); ok {
+				totalDownVCs += cfg.Routers[link.Router].VCs
+			}
+		}
+		credArena := make([]int, totalDownVCs)
+		ownerArena := make([]*Packet, totalDownVCs)
+		freeArena := make([]bool, totalDownVCs)
+		credOff := 0
 		for p := 0; p < radix; p++ {
 			rt.in[p].vcs = vcs[p*rt.cfg.VCs : (p+1)*rt.cfg.VCs]
 			for v := range rt.in[p].vcs {
@@ -137,13 +170,15 @@ func New(cfg Config) (*Network, error) {
 				down := cfg.Routers[link.Router]
 				op.downVCs = down.VCs
 				op.downDepth = down.BufDepth
-				op.credits = make([]int, down.VCs)
+				end := credOff + down.VCs
+				op.credits = credArena[credOff:end:end]
 				for v := range op.credits {
 					op.credits[v] = down.BufDepth
 				}
 				op.creditMask = uint32(1)<<down.VCs - 1
-				op.owner = make([]*Packet, down.VCs)
-				op.pendingFree = make([]bool, down.VCs)
+				op.owner = ownerArena[credOff:end:end]
+				op.pendingFree = freeArena[credOff:end:end]
+				credOff = end
 			} else if term, ok := topo.PortTerminal(r, p); ok {
 				op.isTerm = true
 				op.term = term
@@ -306,14 +341,17 @@ func (n *Network) Step() error {
 // queued events are visited (in ascending router order, so arrival order is
 // identical to a full scan); idle routers cost one counter check.
 func (n *Network) deliver() {
-	for r := range n.routers {
+	for r, m := range n.evMask {
+		if m == 0 {
+			continue // dense scan: an idle router costs one word read
+		}
 		rt := &n.routers[r]
-		for m := rt.evMask; m != 0; m &= m - 1 {
+		for ; m != 0; m &= m - 1 {
 			pi := bits.TrailingZeros32(m)
 			op := rt.out[pi]
 			n.deliverPort(op)
 			if op.creditQ.n == 0 && op.wire.n == 0 {
-				rt.evMask &^= 1 << pi
+				n.evMask[r] &^= 1 << pi
 			}
 		}
 	}
@@ -375,7 +413,8 @@ func (n *Network) deliverPort(op *outputPort) {
 			n.sink(we.flit)
 			continue
 		}
-		rt := &n.routers[op.link.Router]
+		dr := op.link.Router
+		rt := &n.routers[dr]
 		ip := &rt.in[op.link.Port]
 		f := we.flit
 		f.arrive = cyc
@@ -390,8 +429,8 @@ func (n *Network) deliverPort(op *outputPort) {
 			ip.raMask |= 1 << we.outVC
 		}
 		ip.flits++
-		rt.inFlits++
-		rt.portMask |= 1 << op.link.Port
+		n.inFlits[dr]++
+		n.portMask[dr] |= 1 << op.link.Port
 		rt.bufWrites++
 		if f.Kind.IsHead() && op.router >= 0 {
 			f.Pkt.Hops++
@@ -530,10 +569,10 @@ func (n *Network) routeAndAllocate(lo, hi int, fx *tickFx) {
 	// handful of radix values, so memoize the division across the scan.
 	lastRadix, cycOff := 0, 0
 	for r := lo; r < hi; r++ {
-		rt := &n.routers[r]
-		if rt.inFlits == 0 {
+		if n.inFlits[r] == 0 {
 			continue // no buffered flit anywhere: no VC has work
 		}
+		rt := &n.routers[r]
 		radix := len(rt.in)
 		if radix != lastRadix {
 			lastRadix = radix
@@ -542,7 +581,7 @@ func (n *Network) routeAndAllocate(lo, hi int, fx *tickFx) {
 		// Visit occupied ports in rotated order (cycOff first, wrapping),
 		// then only the VCs with stage-1 work, in ascending VC order —
 		// exactly the order of a full scan with the no-op visits removed.
-		for m := rotMask(rt.portMask, cycOff, radix); m != 0; m &= m - 1 {
+		for m := rotMask(n.portMask[r], cycOff, radix); m != 0; m &= m - 1 {
 			pi := bits.TrailingZeros32(m) + cycOff
 			if pi >= radix {
 				pi -= radix
@@ -690,10 +729,10 @@ const saIterations = 3
 func (n *Network) switchAllocate(lo, hi int, fx *tickFx) {
 	lastRadix, cycOff := 0, 0 // cycle%radix memo, as in routeAndAllocate
 	for r := lo; r < hi; r++ {
-		rt := &n.routers[r]
-		if rt.inFlits == 0 {
+		if n.inFlits[r] == 0 {
 			continue // nothing buffered: no VC can bid, no output can send
 		}
+		rt := &n.routers[r]
 		radix := len(rt.in)
 		if radix != lastRadix {
 			lastRadix = radix
@@ -725,7 +764,7 @@ func (n *Network) switchAllocate(lo, hi int, fx *tickFx) {
 			// candidates (saMask) starting at the v:1 round-robin pointer.
 			// Skipped ports and VCs are exactly the visits a full scan
 			// rejects without side effects, so grant order is unchanged.
-			for m := rotMask(rt.portMask, cycOff, radix); m != 0; m &= m - 1 {
+			for m := rotMask(n.portMask[r], cycOff, radix); m != 0; m &= m - 1 {
 				pi := bits.TrailingZeros32(m) + cycOff
 				if pi >= radix {
 					pi -= radix
@@ -811,7 +850,7 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 	}
 	ip := &rt.in[inPort]
 	ip.flits--
-	rt.inFlits--
+	n.inFlits[rt.id]--
 	rt.bufReads++
 	rt.xbarFlits++
 	out.flitsSent++
@@ -828,7 +867,7 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 	}
 	out.consumeCredit(int(vc.outVC))
 	out.wire.push(wireEvt{flit: f, outVC: int(vc.outVC), at: n.cycle + 2})
-	rt.evMask |= 1 << out.port
+	n.evMask[rt.id] |= 1 << out.port
 	bit := uint32(1) << vc.idx
 	if f.Kind.IsTail() {
 		out.releaseOnTail(int(vc.outVC))
@@ -842,7 +881,7 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 		ip.saMask &^= bit // drained mid-packet; rearm on the next arrival
 	}
 	if ip.flits == 0 {
-		rt.portMask &^= 1 << inPort
+		n.portMask[rt.id] &^= 1 << inPort
 	}
 }
 
@@ -850,8 +889,9 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 // flit counters (occupied() rescans the buffers and is kept for audits).
 func (n *Network) accumulate() {
 	n.stats.Cycles++
-	for r := range n.routers {
-		rt := &n.routers[r]
-		rt.bufOccSum += int64(rt.inFlits)
+	for r, f := range n.inFlits {
+		if f != 0 {
+			n.routers[r].bufOccSum += int64(f)
+		}
 	}
 }

@@ -185,17 +185,11 @@ type router struct {
 	outSent  []int8
 	outSlots []int8
 
-	// Active-set scheduling state. inFlits counts flits buffered across the
-	// router's input VCs; the allocation stages and the occupancy
-	// accumulator skip routers holding nothing. portMask has a bit set for
-	// every input port with buffered flits, so those stages iterate set
-	// bits instead of probing every port. evMask has a bit set for every
-	// output port with queued wire or credit events; deliver visits only
-	// those ports and clears the bit once a port's queues drain. All three
-	// are live state, not statistics: they survive ResetStats.
-	inFlits  int
-	portMask uint32
-	evMask   uint32
+	// The active-set scheduling state (flit counts, occupied-port masks,
+	// pending-event masks) lives in structure-of-arrays form on the Network
+	// (inFlits/portMask/evMask, indexed by router ID) so the per-cycle scans
+	// over mostly-idle large meshes walk dense arrays instead of striding
+	// through router structs.
 
 	// Statistics.
 	bufOccSum int64 // sum over cycles of occupied buffer slots

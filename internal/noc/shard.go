@@ -47,7 +47,7 @@ type tickFx struct {
 // deliver visits its freshly queued credit.
 func (fx *tickFx) creditNotify(router, port int) {
 	if fx.direct {
-		fx.n.routers[router].evMask |= 1 << uint(port)
+		fx.n.evMask[router] |= 1 << uint(port)
 		return
 	}
 	fx.evOr = append(fx.evOr, uint32(router)<<5|uint32(port))
@@ -81,8 +81,10 @@ func (fx *tickFx) markBroken(p *Packet, why DropReason) {
 // SetShardWorkers reconfigures intra-cycle sharding: w > 0 runs the
 // allocation stages of every eligible Step on a persistent pool of w
 // workers (w = 1 exercises the sharded path serially), 0 restores the
-// plain sequential kernel. Results are bit-identical in every mode. Call
-// Close when done with a sharded network to release the pool.
+// plain sequential kernel. Requests beyond the router count are clamped —
+// extra workers could never hold a router and would only idle in the pool.
+// Results are bit-identical in every mode. Call Close when done with a
+// sharded network to release the pool.
 func (n *Network) SetShardWorkers(w int) {
 	if n.pool != nil {
 		n.pool.Close()
@@ -92,11 +94,25 @@ func (n *Network) SetShardWorkers(w int) {
 		n.shards = nil
 		return
 	}
+	if nr := len(n.routers); w > nr {
+		w = nr
+	}
 	n.pool = par.NewPool(w)
-	n.shards = make([]tickFx, w)
+	// One sink per steal chunk, not per worker: the pool oversubscribes
+	// the tick into Shards(n) chunks and hands fn the chunk index.
+	n.shards = make([]tickFx, n.pool.Shards(len(n.routers)))
 	for i := range n.shards {
 		n.shards[i].n = n
 	}
+}
+
+// ShardWorkers returns the effective (post-clamp) worker count of the
+// intra-cycle sharding pool, or 0 when the sequential kernel is active.
+func (n *Network) ShardWorkers() int {
+	if n.pool == nil {
+		return 0
+	}
+	return n.pool.Workers()
 }
 
 // Close releases the shard worker pool, if any. The network remains usable
@@ -128,7 +144,7 @@ func (n *Network) allocateSharded() {
 	for i := range shards {
 		fx := &shards[i]
 		for _, e := range fx.evOr {
-			n.routers[e>>5].evMask |= 1 << (e & 31)
+			n.evMask[e>>5] |= 1 << (e & 31)
 		}
 		fx.evOr = fx.evOr[:0]
 		if fx.moved {

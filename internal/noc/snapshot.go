@@ -39,9 +39,62 @@ const (
 	// checkpoint.
 	KindReliable = "noc-rel"
 
-	netSnapshotVersion = 1
-	relSnapshotVersion = 1
+	// Format v2 compacts the steady state: an idle input VC costs one
+	// flag byte and a quiet output port one flag varint, so a quiesced
+	// 32x32 (1024-router) checkpoint stays small instead of spelling out
+	// thousands of pristine credit arrays and empty event queues.
+	netSnapshotVersion = 2
+	relSnapshotVersion = 2
 )
+
+// outputPort snapshot flag bits (format v2). Each bit gates a group of
+// fields that is omitted entirely when the group holds its
+// construction-time defaults; a fully quiet port costs a single zero
+// varint.
+const (
+	opHasFault   = 1 << iota // dead, or a transient-fault window
+	opHasCredits             // consumed credits, owners or pending frees
+	opHasArb     // advanced round-robin pointers
+	opHasEvents  // queued wire or credit events
+	opHasStats   // nonzero traffic counters
+	opFlagsAll   = opHasFault | opHasCredits | opHasArb | opHasEvents | opHasStats
+)
+
+// pristineCreditMask returns the creditMask an untouched port holds: all
+// downstream VCs credited, or the all-ones sentinel of credit-less
+// (terminal / dead-edge) ports.
+func pristineCreditMask(op *outputPort) uint32 {
+	if op.credits == nil {
+		return ^uint32(0)
+	}
+	return uint32(1)<<op.downVCs - 1
+}
+
+// outputPortFlags computes which v2 field groups of a port differ from
+// their construction-time defaults.
+func outputPortFlags(op *outputPort) uint64 {
+	var flags uint64
+	if op.dead || op.faultUntil != 0 || op.faultCorrupt {
+		flags |= opHasFault
+	}
+	dirty := op.creditMask != pristineCreditMask(op)
+	for v := 0; !dirty && v < len(op.credits); v++ {
+		dirty = op.credits[v] != op.downDepth || op.owner[v] != nil || op.pendingFree[v]
+	}
+	if dirty {
+		flags |= opHasCredits
+	}
+	if op.rrVC != 0 || op.rrOut != 0 {
+		flags |= opHasArb
+	}
+	if op.wire.len() > 0 || op.creditQ.len() > 0 {
+		flags |= opHasEvents
+	}
+	if op.flitsSent != 0 || op.busyCycles != 0 || op.combineCycles != 0 {
+		flags |= opHasStats
+	}
+	return flags
+}
 
 // PayloadCodec serializes opaque Packet payloads. A nil codec is valid
 // for payload-free traffic (synthetic patterns); Snapshot fails if it
@@ -129,9 +182,9 @@ func (n *Network) encode(w *ckpt.Writer, codec PayloadCodec) error {
 	// Routers.
 	for ri := range n.routers {
 		rt := &n.routers[ri]
-		w.Int(rt.inFlits)
-		w.U64(uint64(rt.portMask))
-		w.U64(uint64(rt.evMask))
+		w.Int(int(n.inFlits[ri]))
+		w.U64(uint64(n.portMask[ri]))
+		w.U64(uint64(n.evMask[ri]))
 		w.I64(rt.bufOccSum)
 		w.I64(rt.bufReads)
 		w.I64(rt.bufWrites)
@@ -145,6 +198,17 @@ func (n *Network) encode(w *ckpt.Writer, codec PayloadCodec) error {
 			w.U64(uint64(ip.saMask))
 			for vi := range ip.vcs {
 				vc := &ip.vcs[vi]
+				// Idle-VC flag byte (format v2): a VC with no buffered
+				// flit and no allocation is fully described by one byte.
+				// Its remaining fields are stale scratch the kernel never
+				// reads in this state (outPort/class are rewritten when
+				// the next head routes, headArrive when the next flit
+				// lands), so restore canonicalizes them to zero.
+				idle := vc.state == vcIdle && vc.buf.count == 0
+				w.Bool(idle)
+				if idle {
+					continue
+				}
 				w.U64(uint64(vc.state))
 				w.Int(int(vc.outPort))
 				w.Int(int(vc.outVC))
@@ -172,6 +236,10 @@ func (n *Network) encode(w *ckpt.Writer, codec PayloadCodec) error {
 // restore into a differently shaped target fails loudly instead of
 // corrupting state.
 func (n *Network) encodeSignature(w *ckpt.Writer) {
+	// The topology name (e.g. "mesh8x8") pins the exact shape: fixed-radix
+	// topologies make same-count meshes (8x8 vs 4x16) indistinguishable by
+	// the per-router counts alone.
+	w.Str(n.cfg.Topo.Name())
 	w.Int(len(n.routers))
 	w.Int(len(n.nis))
 	for ri := range n.routers {
@@ -188,6 +256,9 @@ func (n *Network) encodeSignature(w *ckpt.Writer) {
 func (n *Network) checkSignature(r *ckpt.Reader) error {
 	bad := func(what string, got, want int) error {
 		return fmt.Errorf("noc: checkpoint %s %d, target network has %d", what, got, want)
+	}
+	if v := r.Str(); v != n.cfg.Topo.Name() {
+		return fmt.Errorf("noc: checkpoint topology %q, target network is %q", v, n.cfg.Topo.Name())
 	}
 	if v := r.Int(); v != len(n.routers) {
 		return bad("router count", v, len(n.routers))
@@ -338,117 +409,163 @@ func pktAt(r *ckpt.Reader, table []*Packet) (*Packet, error) {
 }
 
 func encodeOutputPort(w *ckpt.Writer, op *outputPort, index map[*Packet]int) {
-	w.Bool(op.dead)
-	w.I64(op.faultUntil)
-	w.Bool(op.faultCorrupt)
-	w.Bool(op.credits != nil)
-	if op.credits != nil {
-		w.Int(len(op.credits))
-		for _, c := range op.credits {
-			w.Int(c)
+	flags := outputPortFlags(op)
+	w.U64(flags)
+	if flags&opHasFault != 0 {
+		w.Bool(op.dead)
+		w.I64(op.faultUntil)
+		w.Bool(op.faultCorrupt)
+	}
+	if flags&opHasCredits != 0 {
+		w.Bool(op.credits != nil)
+		if op.credits != nil {
+			w.Int(len(op.credits))
+			for _, c := range op.credits {
+				w.Int(c)
+			}
+		}
+		w.U64(uint64(op.creditMask))
+		w.Int(len(op.owner))
+		for _, p := range op.owner {
+			w.Int(index[p])
+		}
+		w.Int(len(op.pendingFree))
+		for _, b := range op.pendingFree {
+			w.Bool(b)
 		}
 	}
-	w.U64(uint64(op.creditMask))
-	w.Int(len(op.owner))
-	for _, p := range op.owner {
-		w.Int(index[p])
+	if flags&opHasArb != 0 {
+		w.Int(op.rrVC)
+		w.Int(op.rrOut)
 	}
-	w.Int(len(op.pendingFree))
-	for _, b := range op.pendingFree {
-		w.Bool(b)
+	if flags&opHasEvents != 0 {
+		w.Int(op.wire.len())
+		for i := 0; i < op.wire.len(); i++ {
+			we := op.wire.at(i)
+			encodeFlit(w, we.flit, index)
+			w.Int(we.outVC)
+			w.I64(we.at)
+		}
+		w.Int(op.creditQ.len())
+		for i := 0; i < op.creditQ.len(); i++ {
+			ce := op.creditQ.at(i)
+			w.Int(ce.vc)
+			w.I64(ce.at)
+		}
 	}
-	w.Int(op.rrVC)
-	w.Int(op.rrOut)
-	w.Int(op.wire.len())
-	for i := 0; i < op.wire.len(); i++ {
-		we := op.wire.at(i)
-		encodeFlit(w, we.flit, index)
-		w.Int(we.outVC)
-		w.I64(we.at)
+	if flags&opHasStats != 0 {
+		w.I64(op.flitsSent)
+		w.I64(op.busyCycles)
+		w.I64(op.combineCycles)
 	}
-	w.Int(op.creditQ.len())
-	for i := 0; i < op.creditQ.len(); i++ {
-		ce := op.creditQ.at(i)
-		w.Int(ce.vc)
-		w.I64(ce.at)
-	}
-	w.I64(op.flitsSent)
-	w.I64(op.busyCycles)
-	w.I64(op.combineCycles)
 }
 
 func decodeOutputPort(r *ckpt.Reader, op *outputPort, table []*Packet) error {
-	op.dead = r.Bool()
-	op.faultUntil = r.I64()
-	op.faultCorrupt = r.Bool()
-	if hasCredits := r.Bool(); hasCredits {
+	flags := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if flags&^uint64(opFlagsAll) != 0 {
+		return fmt.Errorf("noc: unknown output-port flags %#x", flags)
+	}
+	if flags&opHasFault != 0 {
+		op.dead = r.Bool()
+		op.faultUntil = r.I64()
+		op.faultCorrupt = r.Bool()
+	} else {
+		op.dead, op.faultUntil, op.faultCorrupt = false, 0, false
+	}
+	if flags&opHasCredits != 0 {
+		if hasCredits := r.Bool(); hasCredits {
+			cn := r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if op.credits == nil || cn != len(op.credits) {
+				return fmt.Errorf("noc: credit array length %d != target %d", cn, len(op.credits))
+			}
+			for v := range op.credits {
+				op.credits[v] = r.Int()
+			}
+		} else if op.credits != nil {
+			return fmt.Errorf("noc: checkpoint has no credits for a credited port")
+		}
+		op.creditMask = uint32(r.U64())
+		on := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if on != len(op.owner) {
+			return fmt.Errorf("noc: owner array length %d != target %d", on, len(op.owner))
+		}
+		for v := range op.owner {
+			p, err := pktAt(r, table)
+			if err != nil {
+				return err
+			}
+			op.owner[v] = p
+		}
+		pn := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if pn != len(op.pendingFree) {
+			return fmt.Errorf("noc: pendingFree length %d != target %d", pn, len(op.pendingFree))
+		}
+		for v := range op.pendingFree {
+			op.pendingFree[v] = r.Bool()
+		}
+	} else {
+		for v := range op.credits {
+			op.credits[v] = op.downDepth
+		}
+		op.creditMask = pristineCreditMask(op)
+		for v := range op.owner {
+			op.owner[v] = nil
+		}
+		for v := range op.pendingFree {
+			op.pendingFree[v] = false
+		}
+	}
+	if flags&opHasArb != 0 {
+		op.rrVC = r.Int()
+		op.rrOut = r.Int()
+	} else {
+		op.rrVC, op.rrOut = 0, 0
+	}
+	resetEvq(&op.wire)
+	resetEvq(&op.creditQ)
+	if flags&opHasEvents != 0 {
+		wn := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for i := 0; i < wn; i++ {
+			f, err := decodeFlit(r, table)
+			if err != nil {
+				return err
+			}
+			outVC := r.Int()
+			at := r.I64()
+			op.wire.push(wireEvt{flit: f, outVC: outVC, at: at})
+		}
 		cn := r.Int()
 		if r.Err() != nil {
 			return r.Err()
 		}
-		if op.credits == nil || cn != len(op.credits) {
-			return fmt.Errorf("noc: credit array length %d != target %d", cn, len(op.credits))
+		for i := 0; i < cn; i++ {
+			vc := r.Int()
+			at := r.I64()
+			op.creditQ.push(creditEvt{vc: vc, at: at})
 		}
-		for v := range op.credits {
-			op.credits[v] = r.Int()
-		}
-	} else if op.credits != nil {
-		return fmt.Errorf("noc: checkpoint has no credits for a credited port")
 	}
-	op.creditMask = uint32(r.U64())
-	on := r.Int()
-	if r.Err() != nil {
-		return r.Err()
+	if flags&opHasStats != 0 {
+		op.flitsSent = r.I64()
+		op.busyCycles = r.I64()
+		op.combineCycles = r.I64()
+	} else {
+		op.flitsSent, op.busyCycles, op.combineCycles = 0, 0, 0
 	}
-	if on != len(op.owner) {
-		return fmt.Errorf("noc: owner array length %d != target %d", on, len(op.owner))
-	}
-	for v := range op.owner {
-		p, err := pktAt(r, table)
-		if err != nil {
-			return err
-		}
-		op.owner[v] = p
-	}
-	pn := r.Int()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	if pn != len(op.pendingFree) {
-		return fmt.Errorf("noc: pendingFree length %d != target %d", pn, len(op.pendingFree))
-	}
-	for v := range op.pendingFree {
-		op.pendingFree[v] = r.Bool()
-	}
-	op.rrVC = r.Int()
-	op.rrOut = r.Int()
-	resetEvq(&op.wire)
-	wn := r.Int()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	for i := 0; i < wn; i++ {
-		f, err := decodeFlit(r, table)
-		if err != nil {
-			return err
-		}
-		outVC := r.Int()
-		at := r.I64()
-		op.wire.push(wireEvt{flit: f, outVC: outVC, at: at})
-	}
-	resetEvq(&op.creditQ)
-	cn := r.Int()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	for i := 0; i < cn; i++ {
-		vc := r.Int()
-		at := r.I64()
-		op.creditQ.push(creditEvt{vc: vc, at: at})
-	}
-	op.flitsSent = r.I64()
-	op.busyCycles = r.I64()
-	op.combineCycles = r.I64()
 	return r.Err()
 }
 
@@ -743,9 +860,9 @@ func (n *Network) decode(r *ckpt.Reader, codec PayloadCodec, h ckpt.Header) erro
 	// Routers.
 	for ri := range n.routers {
 		rt := &n.routers[ri]
-		rt.inFlits = r.Int()
-		rt.portMask = uint32(r.U64())
-		rt.evMask = uint32(r.U64())
+		n.inFlits[ri] = int32(r.Int())
+		n.portMask[ri] = uint32(r.U64())
+		n.evMask[ri] = uint32(r.U64())
 		rt.bufOccSum = r.I64()
 		rt.bufReads = r.I64()
 		rt.bufWrites = r.I64()
@@ -759,6 +876,18 @@ func (n *Network) decode(r *ckpt.Reader, codec PayloadCodec, h ckpt.Header) erro
 			ip.saMask = uint32(r.U64())
 			for vi := range ip.vcs {
 				vc := &ip.vcs[vi]
+				if r.Bool() { // idle-VC flag: canonical empty state
+					vc.state = vcIdle
+					vc.outPort, vc.outVC, vc.class = 0, 0, 0
+					vc.waitCycles = 0
+					vc.cur = nil
+					vc.headArrive = 0
+					vc.buf.head, vc.buf.count = 0, 0
+					for i := range vc.buf.buf {
+						vc.buf.buf[i] = Flit{}
+					}
+					continue
+				}
 				vc.state = vcState(r.U64())
 				vc.outPort = int16(r.Int())
 				vc.outVC = int16(r.Int())

@@ -3,6 +3,7 @@ package noc
 import (
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 
 	"heteronoc/internal/ckpt"
@@ -188,18 +189,28 @@ func TestSnapshotRejectsMismatchedTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m := topology.NewMesh(4, 4)
-	small, err := New(Config{
-		Topo:          m,
-		Routing:       routing.NewXY(m),
-		Routers:       []RouterConfig{{VCs: 3, BufDepth: 5}},
-		FlitWidthBits: 192,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := small.RestoreSnapshot(data, nil); err == nil {
-		t.Fatal("restore into a 4x4 mesh accepted an 8x8 checkpoint")
+	// A smaller mesh differs in router count; a 4x16 mesh has the same 64
+	// routers and terminals as the 8x8 source but a different corner/edge
+	// radix pattern, so only the per-router signature catches it. The error
+	// must name the mismatched dimension, not just fail opaquely.
+	for _, tc := range []struct{ w, h int }{{4, 4}, {4, 16}} {
+		m := topology.NewMesh(tc.w, tc.h)
+		target, err := New(Config{
+			Topo:          m,
+			Routing:       routing.NewXY(m),
+			Routers:       []RouterConfig{{VCs: 3, BufDepth: 5}},
+			FlitWidthBits: 192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = target.RestoreSnapshot(data, nil)
+		if err == nil {
+			t.Fatalf("restore into a %dx%d mesh accepted an 8x8 checkpoint", tc.w, tc.h)
+		}
+		if !strings.Contains(err.Error(), "count") && !strings.Contains(err.Error(), "topology") {
+			t.Errorf("%dx%d mismatch error does not name the dimension: %v", tc.w, tc.h, err)
+		}
 	}
 
 	// A stepped target is not fresh.
@@ -209,6 +220,59 @@ func TestSnapshotRejectsMismatchedTarget(t *testing.T) {
 	}
 	if err := stepped.RestoreSnapshot(data, nil); err == nil {
 		t.Fatal("restore into a stepped network was accepted")
+	}
+}
+
+// TestSnapshotCompactQuiesced pins down the v2 steady-state compaction: a
+// quiesced 32x32 (1024-router) network — idle VCs one flag byte, quiet
+// output ports one flag varint — must checkpoint into a few bytes per
+// router rather than spelling out pristine credit arrays and empty event
+// queues, and the compact checkpoint must still restore bit-identically.
+func TestSnapshotCompactQuiesced(t *testing.T) {
+	build := func() *Network {
+		m := topology.NewMesh(32, 32)
+		n, err := New(Config{
+			Topo:           m,
+			Routing:        routing.NewXY(m),
+			Routers:        []RouterConfig{{VCs: 3, BufDepth: 5}},
+			FlitWidthBits:  192,
+			WatchdogCycles: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n := build()
+	evs := makeSchedule(71, 1024, 60, 0.02, 6)
+	playSchedule(t, n, evs, 0, 60)
+	runUntilQuiesced(t, n, 1<<20)
+	data, err := n.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5 ports x (1-byte flag + occasional arb/stats group) + 3 idle-VC
+	// bytes per port per router, plus per-router stat varints: well under
+	// 128 bytes/router. The pre-compaction format needed several hundred.
+	if max := 128 * 1024; len(data) > max {
+		t.Errorf("quiesced 32x32 checkpoint is %d bytes, want <= %d", len(data), max)
+	}
+	restored := build()
+	if err := restored.RestoreSnapshot(data, nil); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("restored network invariants: %v", err)
+	}
+	// Re-snapshotting the restored network must reproduce the checkpoint
+	// byte for byte: the compact form never encodes stale scratch fields,
+	// so canonicalization is idempotent.
+	again, err := restored.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("restore-then-snapshot differs from original checkpoint (%d vs %d bytes)", len(again), len(data))
 	}
 }
 

@@ -29,8 +29,8 @@ func (n *Network) fastForwardable() bool {
 			return false
 		}
 	}
-	for r := range n.routers {
-		if n.routers[r].inFlits != 0 {
+	for _, f := range n.inFlits {
+		if f != 0 {
 			return false
 		}
 	}

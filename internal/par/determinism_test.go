@@ -59,3 +59,52 @@ func TestShardedTickDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// fingerprintTiny runs a fixed scenario on a 2x2 mesh — fewer routers than
+// any realistic worker request — and returns the network fingerprint.
+func fingerprintTiny(t *testing.T, workers int) uint64 {
+	t.Helper()
+	l := core.NewLayout(core.PlacementDiagonal, 2, 2, true)
+	net, err := l.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers > 0 {
+		net.SetShardWorkers(workers)
+		defer net.Close()
+		if nr, got := 4, net.ShardWorkers(); workers > nr && got != nr {
+			t.Fatalf("requested %d workers on %d routers: pool holds %d, want clamp to %d",
+				workers, nr, got, nr)
+		}
+	}
+	gen := traffic.UniformRandom{N: 4}
+	proc := traffic.Bernoulli{P: 0.2}
+	rng := rand.New(rand.NewSource(7))
+	for cyc := 0; cyc < 500; cyc++ {
+		for term := 0; term < 4; term++ {
+			if proc.Fire(term, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: term, Dst: gen.Dst(term, rng), NumFlits: 4})
+			}
+		}
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return net.Fingerprint()
+}
+
+// TestShardWorkersClampedToRouters: asking for far more workers than the
+// mesh has routers must clamp the pool to the router count (no goroutines
+// that could never hold a router) and still reproduce the sequential
+// kernel's state byte for byte.
+func TestShardWorkersClampedToRouters(t *testing.T) {
+	want := fingerprintTiny(t, 0)
+	for _, w := range []int{3, 16, 64} {
+		if got := fingerprintTiny(t, w); got != want {
+			t.Errorf("%d workers: fingerprint %016x, sequential %016x", w, got, want)
+		}
+	}
+}

@@ -3,17 +3,18 @@ package par
 import "heteronoc/internal/obs"
 
 // TickStats summarizes a pool's ShardedTick history: how many ticks ran, how
-// many degenerated to the inline single-shard path, how the work divided
-// into spans, and the largest/smallest span sizes handed to a worker. Since
-// spans are contiguous and differ by at most one item, MaxSpan-MinSpan ≤ 1
-// within any single tick; across ticks the range reflects varying n.
+// many degenerated to the inline single-chunk path, how the work divided
+// into steal chunks, and the largest/smallest chunk sizes entered into the
+// steal queue. Since chunks are contiguous and differ by at most one item,
+// MaxSpan-MinSpan ≤ 1 within any single tick; across ticks the range
+// reflects varying n.
 type TickStats struct {
 	Ticks       int64 // ShardedTick calls that had work (n > 0)
-	InlineTicks int64 // ticks that ran on the caller (single shard)
-	Spans       int64 // worker spans dispatched (inline ticks count one)
+	InlineTicks int64 // ticks that ran on the caller (single chunk)
+	Spans       int64 // steal chunks dispatched (inline ticks count one)
 	Items       int64 // total items across all ticks
-	MaxSpan     int   // largest span size ever dispatched
-	MinSpan     int   // smallest span size ever dispatched
+	MaxSpan     int   // largest chunk size ever dispatched
+	MinSpan     int   // smallest chunk size ever dispatched
 }
 
 // TickStats returns the pool's accumulated tick accounting. Read it from
@@ -44,15 +45,15 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 		func() float64 { return float64(p.ticks) })
 	reg.RegisterCounter("par_inline_ticks_total", "ticks run inline on a single shard", labels,
 		func() float64 { return float64(p.inlineTicks) })
-	reg.RegisterCounter("par_spans_total", "worker spans dispatched", labels,
+	reg.RegisterCounter("par_spans_total", "steal chunks dispatched", labels,
 		func() float64 { return float64(p.spans) })
 	reg.RegisterCounter("par_items_total", "items processed across all ticks", labels,
 		func() float64 { return float64(p.items) })
-	reg.RegisterGauge("par_span_items_max", "largest span size dispatched", labels,
+	reg.RegisterGauge("par_span_items_max", "largest chunk size dispatched", labels,
 		func() float64 { return float64(p.maxSpan) })
-	reg.RegisterGauge("par_span_items_min", "smallest span size dispatched", labels,
+	reg.RegisterGauge("par_span_items_min", "smallest chunk size dispatched", labels,
 		func() float64 { return float64(p.minSpan) })
-	reg.RegisterGauge("par_mean_items_per_span", "mean span size (worker balance)", labels,
+	reg.RegisterGauge("par_mean_items_per_span", "mean chunk size (steal balance)", labels,
 		func() float64 {
 			if p.spans == 0 {
 				return 0

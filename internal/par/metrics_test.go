@@ -17,11 +17,13 @@ func TestTickStats(t *testing.T) {
 	if st.Ticks != 2 || st.InlineTicks != 1 {
 		t.Fatalf("ticks=%d inline=%d, want 2/1", st.Ticks, st.InlineTicks)
 	}
-	if st.Spans != 3 || st.Items != 11 {
-		t.Fatalf("spans=%d items=%d, want 3/11", st.Spans, st.Items)
+	// 10 items over 2 workers oversubscribe into 8 steal chunks (two of
+	// them one item heavier); the inline tick adds one more span.
+	if st.Spans != 9 || st.Items != 11 {
+		t.Fatalf("spans=%d items=%d, want 9/11", st.Spans, st.Items)
 	}
-	if st.MaxSpan != 5 || st.MinSpan != 1 {
-		t.Fatalf("span extremes %d/%d, want 5/1", st.MaxSpan, st.MinSpan)
+	if st.MaxSpan != 2 || st.MinSpan != 1 {
+		t.Fatalf("span extremes %d/%d, want 2/1", st.MaxSpan, st.MinSpan)
 	}
 }
 
@@ -39,7 +41,7 @@ func TestPoolRegisterMetrics(t *testing.T) {
 		`par_pool_workers{pool="net"} 3`,
 		`par_ticks_total{pool="net"} 1`,
 		`par_items_total{pool="net"} 9`,
-		`par_mean_items_per_span{pool="net"} 3`,
+		`par_mean_items_per_span{pool="net"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PanicError reports a job that panicked instead of returning. Map recovers
@@ -101,11 +102,14 @@ type Pool struct {
 	minSpan     int
 }
 
-// shardJob is one shard of a tick: run fn over [lo,hi) as shard `shard`.
+// shardJob is one worker's share of a tick: loop stealing chunk indices
+// from the shared counter and run fn over each stolen chunk's span until
+// the chunks are exhausted.
 type shardJob struct {
 	fn           func(shard, lo, hi int)
-	shard        int
-	lo, hi       int
+	chunks       int
+	span, extra  int // chunk c covers span items, +1 for the first extra
+	next         *atomic.Int64
 	done         *sync.WaitGroup
 	panicked     *panicBox
 	panickedOnce *sync.Once
@@ -141,7 +145,23 @@ func (j shardJob) run() {
 		}
 		j.done.Done()
 	}()
-	j.fn(j.shard, j.lo, j.hi)
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := c * j.span
+		if c < j.extra {
+			lo += c
+		} else {
+			lo += j.extra
+		}
+		hi := lo + j.span
+		if c < j.extra {
+			hi++
+		}
+		j.fn(c, lo, hi)
+	}
 }
 
 // Workers returns the pool size.
@@ -158,53 +178,79 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// ShardedTick partitions [0,n) into one contiguous span per worker and runs
-// fn(shard, lo, hi) for each span concurrently on the pool, blocking until
-// every span has completed. The partition depends only on n and the pool
-// size, and shard s always covers items before shard s+1, so a caller that
-// merges per-shard effects in shard order reproduces ascending item order
-// regardless of scheduling. fn must confine its writes to the items it was
-// handed (plus per-shard scratch); under that contract the merged state is
-// identical for every worker count, including 1. A panicking shard is
-// re-panicked on the caller's goroutine after all shards finish, so the
-// pool is never left with a wedged tick.
+// stealChunkFactor oversubscribes the tick partition: each worker's fair
+// share is split into this many chunks so a worker that drew light spans
+// (idle routers) steals the heavy tail from its neighbors instead of
+// leaving the pool waiting on one straggler.
+const stealChunkFactor = 4
+
+// Shards returns the number of contiguous chunks ShardedTick partitions n
+// items into — the length a caller's per-shard sink slice must have. The
+// count depends only on n and the pool size.
+func (p *Pool) Shards(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		return 1
+	}
+	c := w * stealChunkFactor
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// ShardedTick partitions [0,n) into Shards(n) contiguous chunks and runs
+// fn(shard, lo, hi) for each chunk on the pool, blocking until every chunk
+// has completed. Workers steal chunk indices from a shared counter, so
+// which worker runs a chunk varies — but the partition itself depends only
+// on n and the pool size, and shard s always covers items before shard
+// s+1, so a caller that merges per-shard effects in shard order reproduces
+// ascending item order regardless of scheduling. fn must confine its
+// writes to the items it was handed (plus per-shard scratch); under that
+// contract the merged state is identical for every worker count, including
+// 1. A panicking chunk is re-panicked on the caller's goroutine after the
+// tick drains, so the pool is never left with a wedged tick.
 func (p *Pool) ShardedTick(n int, fn func(shard, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	shards := p.workers
-	if shards > n {
-		shards = n
-	}
+	chunks := p.Shards(n)
 	p.ticks++
 	p.items += int64(n)
-	p.spans += int64(shards)
-	if shards == 1 {
+	p.spans += int64(chunks)
+	if chunks == 1 {
 		p.inlineTicks++
 		p.noteSpan(n, n)
 		// Single shard: run inline, same code path as a worker would take.
 		fn(0, 0, n)
 		return
 	}
-	var done sync.WaitGroup
-	var once sync.Once
-	var pb panicBox
-	done.Add(shards)
-	span := n / shards
-	extra := n % shards // the first `extra` shards take one more item
+	span := n / chunks
+	extra := n % chunks // the first `extra` chunks take one more item
 	if extra > 0 {
 		p.noteSpan(span+1, span)
 	} else {
 		p.noteSpan(span, span)
 	}
-	lo := 0
-	for s := 0; s < shards; s++ {
-		hi := lo + span
-		if s < extra {
-			hi++
-		}
-		p.work <- shardJob{fn: fn, shard: s, lo: lo, hi: hi, done: &done, panicked: &pb, panickedOnce: &once}
-		lo = hi
+	workers := p.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var done sync.WaitGroup
+	var once sync.Once
+	var pb panicBox
+	done.Add(workers)
+	job := shardJob{fn: fn, chunks: chunks, span: span, extra: extra,
+		next: &next, done: &done, panicked: &pb, panickedOnce: &once}
+	for w := 0; w < workers; w++ {
+		p.work <- job
 	}
 	done.Wait()
 	if pb.value != nil {

@@ -1,0 +1,212 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"heteronoc/internal/topology"
+)
+
+// testMeshes are the grid shapes the builder equivalence tests sweep:
+// degenerate, non-square (both orientations), the paper's 8x8, and a
+// large mesh the analytic builder is supposed to make cheap.
+func testMeshes() []*topology.Mesh {
+	return []*topology.Mesh{
+		topology.NewMesh(2, 2),
+		topology.NewMesh(3, 5),
+		topology.NewMesh(5, 3),
+		topology.NewMesh(4, 8),
+		topology.NewMesh(8, 8),
+		topology.NewMesh(16, 16),
+	}
+}
+
+// bigSets returns deterministic big-router markings for an n-router grid:
+// none, the main diagonal, and a seeded random quarter.
+func bigSets(m *topology.Mesh) map[string][]bool {
+	w, h := m.Dims()
+	n := m.NumRouters()
+	none := make([]bool, n)
+	diag := make([]bool, n)
+	for i := 0; i < w && i < h; i++ {
+		diag[m.RouterAt(i, i)] = true
+		diag[m.RouterAt(w-1-i, i)] = true
+	}
+	rnd := make([]bool, n)
+	rng := rand.New(rand.NewSource(int64(n)))
+	for i := 0; i < n/4; i++ {
+		rnd[rng.Intn(n)] = true
+	}
+	return map[string][]bool{"none": none, "diagonal": diag, "random": rnd}
+}
+
+// TestTableXYMatchesDijkstra pins the analytic TableXY construction
+// against the original per-destination Dijkstra over minimal-direction
+// edges: every table entry must be bit-identical on every mesh shape and
+// big-router marking.
+func TestTableXYMatchesDijkstra(t *testing.T) {
+	for _, m := range testMeshes() {
+		for name, big := range bigSets(m) {
+			ta := NewTableXY(m, TableXYConfig{Big: big})
+			for dst := 0; dst < m.NumTerminals(); dst++ {
+				want := refTableXYDst(m, big, dst)
+				for r := range want {
+					if ta.next[dst][r] != want[r] {
+						t.Fatalf("%s/%s dst %d router %d: analytic port %d, Dijkstra port %d",
+							m.Name(), name, dst, r, ta.next[dst][r], want[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// faultScenarios applies deterministic fault sets to a fresh LinkState:
+// fault-free, a few random links, links plus routers, and a cut that
+// isolates the north-west corner.
+func faultScenarios(m *topology.Mesh) map[string]*topology.LinkState {
+	n := m.NumRouters()
+	free := topology.NewLinkState(m)
+
+	links := topology.NewLinkState(m)
+	rng := rand.New(rand.NewSource(int64(2 * n)))
+	for i := 0; i < n/8+2; i++ {
+		links.FailLink(rng.Intn(n), rng.Intn(4))
+	}
+
+	mixed := links.Clone()
+	for i := 0; i < 2; i++ {
+		mixed.FailRouter(rng.Intn(n))
+	}
+
+	cut := topology.NewLinkState(m)
+	cut.FailLink(m.RouterAt(0, 0), topology.PortEast)
+	cut.FailLink(m.RouterAt(0, 0), topology.PortSouth)
+
+	return map[string]*topology.LinkState{"free": free, "links": links, "mixed": mixed, "corner": cut}
+}
+
+// rebuildFromScratch forces a full (non-incremental) rebuild of ft on ls.
+func rebuildFromScratch(ft *FaultTable, ls *topology.LinkState) {
+	ft.havePrev = false
+	ft.Rebuild(ls)
+}
+
+// TestFaultTableMatchesDijkstra pins the analytic FaultTable construction
+// against the original per-destination Dijkstra over live links, on meshes
+// and tori (the 2-wide torus exercises double edges between one router
+// pair), across fault scenarios, for both the full and the incremental
+// rebuild path.
+func TestFaultTableMatchesDijkstra(t *testing.T) {
+	topos := append(testMeshes(),
+		topology.NewTorus(2, 4),
+		topology.NewTorus(4, 4),
+		topology.NewTorus(5, 3),
+	)
+	for _, m := range topos {
+		for name, big := range bigSets(m) {
+			for sname, ls := range faultScenarios(m) {
+				t.Run(fmt.Sprintf("%s/%s/%s", m.Name(), name, sname), func(t *testing.T) {
+					// Incremental path: faults accumulate onto the fresh table.
+					inc := NewFaultTable(m, FaultTableConfig{Big: big})
+					inc.Rebuild(ls)
+					// Full path: from-scratch rebuild on the same state.
+					full := NewFaultTable(m, FaultTableConfig{Big: big})
+					rebuildFromScratch(full, ls)
+					for dst := 0; dst < m.NumTerminals(); dst++ {
+						want := refFaultDst(m, ls, big, dst)
+						for r := range want {
+							if inc.next[dst][r] != want[r] {
+								t.Fatalf("incremental dst %d router %d: port %d, Dijkstra port %d",
+									dst, r, inc.next[dst][r], want[r])
+							}
+							if full.next[dst][r] != want[r] {
+								t.Fatalf("full dst %d router %d: port %d, Dijkstra port %d",
+									dst, r, full.next[dst][r], want[r])
+							}
+							if inc.tree[dst][r] != full.tree[dst][r] {
+								t.Fatalf("dst %d router %d: incremental tree port %d, full tree port %d",
+									dst, r, inc.tree[dst][r], full.tree[dst][r])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultTableIncrementalSequences drives long random accumulating fault
+// sequences — links, routers, forest-edge deaths, partitions — through one
+// table via incremental Rebuilds (mutating one LinkState in place exactly
+// like the simulator's fault sweep does) and checks the tables after every
+// step against a from-scratch rebuild.
+func TestFaultTableIncrementalSequences(t *testing.T) {
+	grids := []*topology.Mesh{
+		topology.NewMesh(4, 8),
+		topology.NewMesh(8, 8),
+		topology.NewTorus(4, 4),
+	}
+	for _, m := range grids {
+		n := m.NumRouters()
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", m.Name(), seed), func(t *testing.T) {
+				big := bigSets(m)["diagonal"]
+				rng := rand.New(rand.NewSource(seed))
+				ls := topology.NewLinkState(m)
+				inc := NewFaultTable(m, FaultTableConfig{Big: big})
+				for step := 0; step < 12; step++ {
+					if rng.Intn(4) == 0 {
+						ls.FailRouter(rng.Intn(n))
+					} else {
+						ls.FailLink(rng.Intn(n), rng.Intn(4))
+					}
+					inc.Rebuild(ls)
+					full := NewFaultTable(m, FaultTableConfig{Big: big})
+					rebuildFromScratch(full, ls)
+					for dst := 0; dst < m.NumTerminals(); dst++ {
+						for r := 0; r < n; r++ {
+							if inc.next[dst][r] != full.next[dst][r] {
+								t.Fatalf("step %d dst %d router %d: incremental port %d, full port %d",
+									step, dst, r, inc.next[dst][r], full.next[dst][r])
+							}
+							if inc.tree[dst][r] != full.tree[dst][r] {
+								t.Fatalf("step %d dst %d router %d: incremental tree %d, full tree %d",
+									step, dst, r, inc.tree[dst][r], full.tree[dst][r])
+							}
+						}
+					}
+				}
+				// Rolling back to fault-free must fall back to a full rebuild
+				// and restore the pristine tables.
+				inc.Rebuild(nil)
+				fresh := NewFaultTable(m, FaultTableConfig{Big: big})
+				for dst := 0; dst < m.NumTerminals(); dst++ {
+					for r := 0; r < n; r++ {
+						if inc.next[dst][r] != fresh.next[dst][r] {
+							t.Fatalf("after Rebuild(nil): dst %d router %d differs from fresh table", dst, r)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFaultTableRebuildNoAllocsSteadyState checks the arena design: a
+// Rebuild that changes nothing (the steady-state call the simulator makes
+// whenever its fault plan re-arms) allocates only the forest adjacency.
+func TestFaultTableRebuildNoAllocsSteadyState(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	ft := NewFaultTable(m, FaultTableConfig{})
+	ls := topology.NewLinkState(m)
+	ls.FailLink(m.RouterAt(3, 3), topology.PortEast)
+	ft.Rebuild(ls)
+	allocs := testing.AllocsPerRun(50, func() { ft.Rebuild(ls) })
+	// buildForest allocates the adjacency slices; everything else must be
+	// arena-backed. 8x8 has 64 routers -> ~65 small allocations.
+	if allocs > 200 {
+		t.Fatalf("steady-state Rebuild makes %.0f allocations, want <= 200", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package routing
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -46,6 +45,7 @@ type FaultAware interface {
 type FaultTable struct {
 	topo        topology.Topology
 	big         []bool
+	bigAdd      []int32
 	escapeAfter int
 	ls          *topology.LinkState
 	// next[dst][router] is the output port toward terminal dst on the
@@ -54,6 +54,63 @@ type FaultTable struct {
 	// tree[dst][router] is the output port toward terminal dst restricted
 	// to the escape spanning forest, -1 when unreachable.
 	tree [][]int16
+
+	// Flat arenas backing next and tree: one allocation each for the whole
+	// table instead of one per destination.
+	nextArena []int16
+	treeArena []int16
+
+	// Live-link adjacency, refreshed on every Rebuild: adj[r*maxRadix+p]
+	// is the router reached over the live link at port p of router r (-1
+	// for terminal ports, edge ports and dead links) and far[.] is the
+	// far-side port on that router. The per-destination passes read these
+	// flat arrays instead of calling Neighbor/Up per edge.
+	maxRadix int
+	adj, far []int32
+
+	// hbuf/bbuf are the per-destination build scratch: hop layer toward the
+	// destination over the live links (-1 when unreachable) and the maximum
+	// number of big routers after each router over minimal-hop paths.
+	hbuf, bbuf []int32
+
+	// Previous liveness, owned copies (callers mutate the same LinkState
+	// in place between Rebuilds, so the diff needs its own snapshot).
+	prevDown []bool // flat V x maxRadix, network ports only
+	prevDead []bool
+	havePrev bool
+
+	// Escape forest adjacency as flat port lists:
+	// forestPorts[r*maxRadix : r*maxRadix+forestCnt[r]] are the forest-edge
+	// ports of router r. newForest* is the scratch the next forest is built
+	// into before comparing; when the forest is unchanged the tree tables
+	// carry over untouched.
+	forestPorts, newForestPorts []int16
+	forestCnt, newForestCnt     []int16
+
+	// Rooted view of the forest, recomputed only when the forest changes:
+	// every component is rooted at its lowest-numbered live router, and
+	// tree tables are derived from the parent pointers in O(V) per
+	// destination (the ancestors of the destination route down the
+	// destination's root path, everyone else routes to its parent).
+	parent     []int32 // parent router, -1 at roots
+	parentPort []int16 // port on u toward its parent
+	parentFar  []int16 // port on the parent toward u
+	comp       []int32 // component root, -1 while fail-stopped
+	stamp      []int64 // generation stamp marking the current root path
+	down       []int16 // port toward the destination, valid where stamped
+	stampGen   int64
+
+	// Fault-free fast path: nonzero mesh dimensions when topo is a
+	// non-wrapping mesh, so hop layers are Manhattan distances in closed
+	// form and each router has at most one minimal candidate per dimension.
+	meshW, meshH int
+	allUp        bool
+
+	// Scratch reused across destinations (zero steady-state allocations).
+	queue    []int32
+	seen     []bool
+	newEdges [][2]int32 // newly dead directed edges as (router, port) pairs
+	newDeadR []int32    // newly fail-stopped routers
 }
 
 // FaultTableConfig parameterizes table construction.
@@ -80,147 +137,479 @@ func NewFaultTable(t topology.Topology, cfg FaultTableConfig) *FaultTable {
 	if ft.big == nil {
 		ft.big = make([]bool, t.NumRouters())
 	}
-	ft.next = make([][]int16, t.NumTerminals())
-	ft.tree = make([][]int16, t.NumTerminals())
+	n := t.NumRouters()
+	terms := t.NumTerminals()
+	ft.bigAdd = make([]int32, n)
+	for r, b := range ft.big {
+		if b {
+			ft.bigAdd[r] = 1
+		}
+	}
+	for r := 0; r < n; r++ {
+		if rad := t.Radix(r); rad > ft.maxRadix {
+			ft.maxRadix = rad
+		}
+	}
+	ft.adj = make([]int32, n*ft.maxRadix)
+	ft.far = make([]int32, n*ft.maxRadix)
+	ft.hbuf = make([]int32, n)
+	ft.bbuf = make([]int32, n)
+	ft.prevDown = make([]bool, n*ft.maxRadix)
+	ft.prevDead = make([]bool, n)
+	ft.forestPorts = make([]int16, n*ft.maxRadix)
+	ft.newForestPorts = make([]int16, n*ft.maxRadix)
+	ft.forestCnt = make([]int16, n)
+	ft.newForestCnt = make([]int16, n)
+	ft.parent = make([]int32, n)
+	ft.parentPort = make([]int16, n)
+	ft.parentFar = make([]int16, n)
+	ft.comp = make([]int32, n)
+	ft.stamp = make([]int64, n)
+	ft.down = make([]int16, n)
+	ft.seen = make([]bool, n)
+	ft.queue = make([]int32, 0, n)
+	if m, ok := t.(*topology.Mesh); ok && !m.Wrap() {
+		ft.meshW, ft.meshH = m.Dims()
+	}
+	ft.nextArena = make([]int16, terms*n)
+	ft.treeArena = make([]int16, terms*n)
+	ft.next = make([][]int16, terms)
+	ft.tree = make([][]int16, terms)
+	for dst := 0; dst < terms; dst++ {
+		ft.next[dst] = ft.nextArena[dst*n : (dst+1)*n : (dst+1)*n]
+		ft.tree[dst] = ft.treeArena[dst*n : (dst+1)*n : (dst+1)*n]
+	}
 	ft.Rebuild(nil)
 	return ft
 }
 
 // Rebuild recomputes the primary tables and the escape forest over the
-// live links in ls (nil = all links up). It runs one Dijkstra pass per
-// destination plus one BFS forest construction, deterministic in both
-// iteration order and tie-breaking, so identical failure histories yield
-// identical tables.
+// live links in ls (nil = all links up), deterministic in both iteration
+// order and tie-breaking, so identical failure histories yield identical
+// tables.
+//
+// When failures strictly accumulate since the previous Rebuild — the
+// common case, faults are permanent — the rebuild is incremental: a newly
+// dead link changes a destination's routes only when some router's chosen
+// output port for that destination died (see dstAffected for why the test
+// is exact). Only the affected destinations are recomputed, each with one
+// O(V*radix) pass; tree tables are refreshed only when the escape forest
+// changed. Any rollback (a link coming back up, e.g. Rebuild(nil) after
+// faults) falls back to a full rebuild.
 func (ft *FaultTable) Rebuild(ls *topology.LinkState) {
 	if ls == nil {
 		ls = topology.NewLinkState(ft.topo)
 	}
 	ft.ls = ls
-	treeAdj := ft.buildForest()
-	for dst := 0; dst < ft.topo.NumTerminals(); dst++ {
-		ft.next[dst] = ft.buildDst(dst)
-		ft.tree[dst] = ft.buildTreeDst(dst, treeAdj)
-	}
-}
-
-// buildDst runs Dijkstra from the destination router backwards over the
-// reversed live-link graph, producing next[router] = output port. Unlike
-// TableXY the edge set is not restricted to minimal directions — after a
-// failure the surviving shortest path may detour arbitrarily.
-func (ft *FaultTable) buildDst(dst int) []int16 {
-	dstR, _ := ft.topo.TerminalRouter(dst)
 	n := ft.topo.NumRouters()
-	dist := make([]int, n)
-	next := make([]int16, n)
-	for i := range dist {
-		dist[i] = 1 << 30
-		next[i] = -1
-	}
-	if ft.ls.RouterFailed(dstR) {
-		return next
-	}
-	dist[dstR] = 0
-	pq := &intHeap{{0, dstR}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
-		if it.prio > dist[it.v] {
-			continue
-		}
-		r := it.v
-		// Relax predecessors: routers u with a live edge u->r. By link
-		// symmetry, the edge from u into port p of r leaves u on port
-		// link.Port.
-		for p := 0; p < ft.topo.Radix(r); p++ {
-			if !ft.ls.Up(r, p) {
+	terms := ft.topo.NumTerminals()
+
+	// Diff the new liveness against the previous snapshot while refreshing
+	// both the snapshot and the flat adjacency.
+	incremental := ft.havePrev
+	ft.newEdges = ft.newEdges[:0]
+	ft.newDeadR = ft.newDeadR[:0]
+	ft.allUp = true
+	for r := 0; r < n; r++ {
+		base := r * ft.maxRadix
+		rad := ft.topo.Radix(r)
+		for p := 0; p < ft.maxRadix; p++ {
+			if p >= rad {
+				ft.adj[base+p] = -1
 				continue
 			}
-			link, _ := ft.topo.Neighbor(r, p)
-			u := link.Router
-			// Big routers win ties only: a simple path has fewer than n
-			// hops, so discounts of 1 against a per-hop cost of n can never
-			// sum to a full hop. Routes gravitate to the wide diagonal among
-			// equal-length paths but never pay an extra hop for it.
-			c := n
-			if ft.big[r] {
-				c--
+			link, isNet := ft.topo.Neighbor(r, p)
+			if !isNet {
+				ft.adj[base+p] = -1
+				continue
 			}
-			if nd := dist[r] + c; nd < dist[u] {
-				dist[u] = nd
-				next[u] = int16(link.Port)
-				heap.Push(pq, heapItem{nd, u})
+			downNow := !ls.Up(r, p)
+			if downNow {
+				ft.adj[base+p] = -1
+				ft.allUp = false
+			} else {
+				ft.adj[base+p] = int32(link.Router)
+				ft.far[base+p] = int32(link.Port)
+			}
+			if was := ft.prevDown[base+p]; was != downNow {
+				if was {
+					incremental = false // resurrection: full rebuild
+				} else {
+					ft.newEdges = append(ft.newEdges, [2]int32{int32(r), int32(p)})
+				}
+				ft.prevDown[base+p] = downNow
 			}
 		}
+		deadNow := ls.RouterFailed(r)
+		if deadNow {
+			ft.allUp = false
+		}
+		if was := ft.prevDead[r]; was != deadNow {
+			if was {
+				incremental = false
+			} else {
+				ft.newDeadR = append(ft.newDeadR, int32(r))
+			}
+			ft.prevDead[r] = deadNow
+		}
 	}
-	return next
+	ft.havePrev = true
+
+	forestChanged := ft.refreshForest()
+	if forestChanged {
+		ft.rebuildForestParents()
+	}
+
+	if !incremental {
+		for dst := 0; dst < terms; dst++ {
+			ft.rebuildDst(dst)
+			ft.rebuildTree(dst)
+		}
+		return
+	}
+	for dst := 0; dst < terms; dst++ {
+		if !ft.dstAffected(dst) {
+			if forestChanged {
+				ft.rebuildTree(dst)
+			}
+			continue
+		}
+		// An affected destination's chosen edges overlap the dead set by
+		// definition, so the pristine-table shortcut inside rebuildDst
+		// would be wasted work here: go straight to the general build.
+		ft.rebuildDstGeneral(dst)
+		ft.rebuildTree(dst)
+	}
 }
 
-// buildForest constructs a BFS spanning forest of the live-link graph and
-// returns, per router, the ports that are forest edges. Every component is
-// rooted at its lowest-numbered live router.
-func (ft *FaultTable) buildForest() [][]int16 {
+// dstAffected reports whether any newly dead edge or router invalidates
+// the stored primary table for dst. The test is exact: a destination's
+// routes change if and only if its router fail-stopped or some router's
+// chosen output port died. When every chosen edge survives, an induction
+// over hop layers shows nothing moves — each router's hop count is still
+// realized by its surviving chosen edge (removals never shorten paths),
+// its maximal big count is still realized by that same edge, and the
+// deterministic winner keeps its key while losing only lower-ranked
+// competitors, so the argmax port is unchanged everywhere.
+func (ft *FaultTable) dstAffected(dst int) bool {
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	for _, r := range ft.newDeadR {
+		if int(r) == dstR {
+			return true
+		}
+	}
+	next := ft.next[dst]
+	for _, e := range ft.newEdges {
+		if int32(next[e[0]]) == e[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildDst recomputes next[dst] (and the hop/big characterization) over
+// the live links with one fused O(V*radix) pass, bit-identical to one
+// backwards Dijkstra with cost n-big[r] per hop into r:
+//
+//   - BFS from the destination router assigns hop layers h. Because every
+//     simple path has fewer than n hops, big-router discounts of 1 against
+//     a per-hop cost of n never sum to a full hop, so Dijkstra distances
+//     order lexicographically by (hops ascending, bigs descending) and the
+//     BFS layers are exactly the Dijkstra hop counts.
+//   - When a router u at layer hu is dequeued, every layer-(hu-1) router
+//     has already been dequeued and finalized, so the same port scan that
+//     enqueues layer-(hu+1) neighbors also takes the maximal big count over
+//     u's minimal-hop out-edges, b(u) = max b(r)+big(r), and records the
+//     port toward the argmax — ties broken by larger b(r), then smaller
+//     router ID, then smaller far-side port, which is exactly the order the
+//     replaced heap popped equal-distance entries.
+func (ft *FaultTable) rebuildDst(dst int) {
+	if ft.allUp && ft.meshW > 0 {
+		ft.rebuildDstMesh(dst)
+		return
+	}
+	ft.rebuildDstGeneral(dst)
+}
+
+// rebuildDstGeneral is the any-topology, any-fault-set build for one
+// destination.
+func (ft *FaultTable) rebuildDstGeneral(dst int) {
 	n := ft.topo.NumRouters()
-	adj := make([][]int16, n)
-	seen := make([]bool, n)
-	var queue []int
+	next := ft.next[dst]
+	h := ft.hbuf
+	b := ft.bbuf
+	for i := 0; i < n; i++ {
+		next[i] = -1
+		h[i] = -1
+		b[i] = 0
+	}
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	if ft.ls.RouterFailed(dstR) {
+		return
+	}
+	h[dstR] = 0
+	q := append(ft.queue[:0], int32(dstR))
+	for qi := 0; qi < len(q); qi++ {
+		u := int(q[qi])
+		base := u * ft.maxRadix
+		adjRow := ft.adj[base : base+ft.maxRadix]
+		hu := h[u]
+		bestKey, bestB := int32(-1), int32(-1)
+		bestR, bestFar := int32(n), int32(ft.maxRadix)
+		port := int16(-1)
+		for p, r := range adjRow {
+			if r < 0 {
+				continue
+			}
+			hr := h[r]
+			if hr < 0 {
+				h[r] = hu + 1
+				q = append(q, r)
+				continue
+			}
+			if hr != hu-1 {
+				continue
+			}
+			kb := b[r] + ft.bigAdd[r]
+			if kb > bestKey || (kb == bestKey && (b[r] > bestB ||
+				(b[r] == bestB && (r < bestR || (r == bestR && ft.far[base+p] < bestFar))))) {
+				bestKey, bestB, bestR, bestFar = kb, b[r], r, ft.far[base+p]
+				port = int16(p)
+			}
+		}
+		if qi > 0 {
+			b[u] = bestKey
+			next[u] = port
+		}
+	}
+	ft.queue = q[:0]
+}
+
+// rebuildDstMesh is rebuildDst specialized to a fault-free non-wrapping
+// mesh: every hop layer is the Manhattan distance in closed form (no BFS,
+// no adjacency loads) and each router has at most two minimal candidates —
+// one per dimension still unresolved — at arithmetic offsets. Rows are
+// processed outward from the destination row and, within a row, outward
+// from the destination column, which is a topological order of the minimal
+// DAG, so the b recurrence and the deterministic winner key (larger
+// b(r)+big(r), then larger b(r), then smaller router ID) match the general
+// path bit for bit. The far-side-port tie-break never engages because the
+// two candidates are distinct routers.
+func (ft *FaultTable) rebuildDstMesh(dst int) {
+	next := ft.next[dst]
+	b := ft.bbuf
+	w, ht := ft.meshW, ft.meshH
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	dx, dy := dstR%w, dstR/w
+	bigAdd := ft.bigAdd
+	fillRow := func(y int) {
+		rowBase := y * w
+		vstep, vport := 0, int16(-1)
+		vWins := false // vertical candidate has the smaller router ID
+		if y < dy {
+			vstep, vport = w, int16(topology.PortSouth)
+		} else if y > dy {
+			vstep, vport, vWins = -w, int16(topology.PortNorth), true
+		}
+		// Sweep left of (and including) the destination column, then right:
+		// the horizontal candidate is always the router one step back.
+		for x := dx; x >= 0; x-- {
+			u := rowBase + x
+			if x == dx {
+				if vstep == 0 { // the destination router itself
+					next[u] = -1
+					b[u] = 0
+					continue
+				}
+				r := u + vstep
+				b[u] = b[r] + bigAdd[r]
+				next[u] = vport
+				continue
+			}
+			rh := u + 1
+			bb, port := b[rh]+bigAdd[rh], int16(topology.PortEast)
+			if vstep != 0 {
+				rv := u + vstep
+				kb := b[rv] + bigAdd[rv]
+				if kb > bb || (kb == bb && (b[rv] > b[rh] || (b[rv] == b[rh] && vWins))) {
+					bb, port = kb, vport
+				}
+			}
+			b[u] = bb
+			next[u] = port
+		}
+		for x := dx + 1; x < w; x++ {
+			u := rowBase + x
+			rh := u - 1
+			bb, port := b[rh]+bigAdd[rh], int16(topology.PortWest)
+			if vstep != 0 {
+				rv := u + vstep
+				kb := b[rv] + bigAdd[rv]
+				if kb > bb || (kb == bb && (b[rv] > b[rh] || (b[rv] == b[rh] && vWins))) {
+					bb, port = kb, vport
+				}
+			}
+			b[u] = bb
+			next[u] = port
+		}
+	}
+	fillRow(dy)
+	for i := 1; ; i++ {
+		any := false
+		if y := dy - i; y >= 0 {
+			fillRow(y)
+			any = true
+		}
+		if y := dy + i; y < ht {
+			fillRow(y)
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+}
+
+// refreshForest constructs a BFS spanning forest of the live-link graph as
+// flat per-router port lists (every component rooted at its lowest-numbered
+// live router) and reports whether it differs from the previous forest.
+// When it is unchanged the tree tables of unaffected destinations carry
+// over untouched.
+func (ft *FaultTable) refreshForest() (changed bool) {
+	n := ft.topo.NumRouters()
+	ports, cnt := ft.newForestPorts, ft.newForestCnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	seen := ft.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	queue := ft.queue[:0]
 	for root := 0; root < n; root++ {
 		if seen[root] || ft.ls.RouterFailed(root) {
 			continue
 		}
 		seen[root] = true
-		queue = append(queue[:0], root)
-		for len(queue) > 0 {
-			r := queue[0]
-			queue = queue[1:]
-			for p := 0; p < ft.topo.Radix(r); p++ {
-				if !ft.ls.Up(r, p) {
+		queue = append(queue[:0], int32(root))
+		for qi := 0; qi < len(queue); qi++ {
+			r := int(queue[qi])
+			base := r * ft.maxRadix
+			for p := 0; p < ft.maxRadix; p++ {
+				u := ft.adj[base+p]
+				if u < 0 || seen[int(u)] {
 					continue
 				}
-				link, _ := ft.topo.Neighbor(r, p)
-				if seen[link.Router] {
-					continue
-				}
-				seen[link.Router] = true
-				adj[r] = append(adj[r], int16(p))
-				adj[link.Router] = append(adj[link.Router], int16(link.Port))
-				queue = append(queue, link.Router)
+				seen[u] = true
+				ports[base+int(cnt[r])] = int16(p)
+				cnt[r]++
+				ub := int(u) * ft.maxRadix
+				ports[ub+int(cnt[u])] = int16(ft.far[base+p])
+				cnt[u]++
+				queue = append(queue, u)
 			}
 		}
 	}
-	return adj
+	ft.queue = queue[:0]
+	for r := 0; r < n; r++ {
+		if cnt[r] != ft.forestCnt[r] {
+			changed = true
+			break
+		}
+		base := r * ft.maxRadix
+		for i := 0; i < int(cnt[r]); i++ {
+			if ports[base+i] != ft.forestPorts[base+i] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if changed {
+		ft.forestPorts, ft.newForestPorts = ft.newForestPorts, ft.forestPorts
+		ft.forestCnt, ft.newForestCnt = ft.newForestCnt, ft.forestCnt
+	}
+	return changed
 }
 
-// buildTreeDst BFSes from the destination router over forest edges only,
-// producing the escape next-hop table. Within a tree the path between any
-// two routers is unique, so this is exactly "up to the common ancestor,
-// then down".
-func (ft *FaultTable) buildTreeDst(dst int, treeAdj [][]int16) []int16 {
-	dstR, _ := ft.topo.TerminalRouter(dst)
+// rebuildForestParents roots every forest component at its lowest-numbered
+// live router and records parent pointers, the ports on both ends of each
+// parent edge, and component membership. Called only when the forest
+// changed; rebuildTree derives all tree tables from this rooted view.
+func (ft *FaultTable) rebuildForestParents() {
 	n := ft.topo.NumRouters()
-	next := make([]int16, n)
-	for i := range next {
-		next[i] = -1
+	for i := 0; i < n; i++ {
+		ft.comp[i] = -1
 	}
-	if ft.ls.RouterFailed(dstR) {
-		return next
-	}
-	seen := make([]bool, n)
-	seen[dstR] = true
-	queue := []int{dstR}
-	for len(queue) > 0 {
-		r := queue[0]
-		queue = queue[1:]
-		for _, p := range treeAdj[r] {
-			link, _ := ft.topo.Neighbor(r, int(p))
-			u := link.Router
-			if seen[u] {
-				continue
+	q := ft.queue[:0]
+	for root := 0; root < n; root++ {
+		if ft.comp[root] >= 0 || ft.ls.RouterFailed(root) {
+			continue
+		}
+		ft.comp[root] = int32(root)
+		ft.parent[root] = -1
+		ft.parentPort[root] = -1
+		q = append(q[:0], int32(root))
+		for qi := 0; qi < len(q); qi++ {
+			r := int(q[qi])
+			base := r * ft.maxRadix
+			pend := base + int(ft.forestCnt[r])
+			for pi := base; pi < pend; pi++ {
+				p := int(ft.forestPorts[pi])
+				u := ft.adj[base+p]
+				if u < 0 || ft.comp[u] >= 0 {
+					continue
+				}
+				ft.comp[u] = int32(root)
+				ft.parent[u] = int32(r)
+				ft.parentPort[u] = int16(ft.far[base+p])
+				ft.parentFar[u] = int16(p)
+				q = append(q, u)
 			}
-			seen[u] = true
-			next[u] = int16(link.Port)
-			queue = append(queue, u)
 		}
 	}
-	return next
+	ft.queue = q[:0]
+}
+
+// rebuildTree fills the escape next-hop table for dst from the rooted
+// forest in one O(V) pass. Within a tree the path between any two routers
+// is unique — up to the common ancestor, then down — so a router's port
+// toward the destination is its parent port unless the router is an
+// ancestor of the destination (lies on the destination's root path), in
+// which case it is the port back down toward the destination. The root
+// path is generation-stamped instead of cleared between destinations.
+func (ft *FaultTable) rebuildTree(dst int) {
+	n := ft.topo.NumRouters()
+	next := ft.tree[dst]
+	dstR, _ := ft.topo.TerminalRouter(dst)
+	if ft.ls.RouterFailed(dstR) {
+		for i := 0; i < n; i++ {
+			next[i] = -1
+		}
+		return
+	}
+	gen := ft.stampGen + 1
+	ft.stampGen = gen
+	ft.stamp[dstR] = gen
+	ft.down[dstR] = -1
+	prev := int32(dstR)
+	for v := ft.parent[dstR]; v >= 0; v = ft.parent[v] {
+		ft.stamp[v] = gen
+		ft.down[v] = ft.parentFar[prev]
+		prev = v
+	}
+	cd := ft.comp[dstR]
+	for u := 0; u < n; u++ {
+		if ft.stamp[u] == gen {
+			next[u] = ft.down[u]
+		} else if ft.comp[u] == cd {
+			next[u] = ft.parentPort[u]
+		} else {
+			next[u] = -1
+		}
+	}
 }
 
 func (ft *FaultTable) Name() string      { return "fault-table" }

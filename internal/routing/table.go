@@ -1,8 +1,6 @@
 package routing
 
 import (
-	"container/heap"
-
 	"heteronoc/internal/topology"
 )
 
@@ -48,10 +46,13 @@ type TableXYConfig struct {
 	EscapeThreshold int
 }
 
-// NewTableXY builds the routing tables with a Dijkstra pass per destination
-// over minimal-direction edges, where a hop costs less when it lands on a
-// big router. Ties break deterministically by port order, yielding the
-// X-Y-X-Y staircases of the paper's Figure 14(a).
+// NewTableXY builds the routing tables with one analytic pass per
+// destination over minimal-direction edges: hop layers are Manhattan
+// distances, and among minimal paths ties resolve toward big routers
+// (deterministically, matching the Dijkstra construction this replaces),
+// yielding the X-Y-X-Y staircases of the paper's Figure 14(a). The whole
+// build is O(V) per destination with no per-destination allocations — all
+// tables share one arena and the layer scratch is reused across passes.
 func NewTableXY(t *topology.Mesh, cfg TableXYConfig) *TableXY {
 	if t.Wrap() {
 		panic("routing: TableXY requires a mesh, not a torus")
@@ -72,9 +73,14 @@ func NewTableXY(t *topology.Mesh, cfg TableXYConfig) *TableXY {
 	for _, f := range cfg.Flagged {
 		ta.flagged[f] = true
 	}
-	ta.next = make([][]int, t.NumTerminals())
-	for dst := 0; dst < t.NumTerminals(); dst++ {
-		ta.next[dst] = ta.buildDst(dst)
+	n := t.NumRouters()
+	terms := t.NumTerminals()
+	arena := make([]int, n*terms)
+	ta.next = make([][]int, terms)
+	scratch := newMinimalScratch(t)
+	for dst := 0; dst < terms; dst++ {
+		ta.next[dst] = arena[dst*n : (dst+1)*n : (dst+1)*n]
+		scratch.buildDst(ta.big, dst, ta.next[dst])
 	}
 	return ta
 }
@@ -84,50 +90,109 @@ const (
 	bigDiscount = 4 // a hop landing on a big router costs hopCost-bigDiscount
 )
 
-// buildDst runs Dijkstra from the destination router backwards over the
-// reversed minimal-direction graph, producing next[router] = output port.
-// Restricting edges to minimal directions keeps every table path minimal in
-// hops while the cost discount steers paths across big routers.
-func (ta *TableXY) buildDst(dst int) []int {
-	dstR, _ := ta.topo.TerminalRouter(dst)
-	n := ta.topo.NumRouters()
-	dist := make([]int, n)
-	next := make([]int, n)
-	for i := range dist {
-		dist[i] = 1 << 30
-		next[i] = -1
+// minimalScratch holds the reusable per-destination state for the analytic
+// minimal-path table construction. One Dijkstra per destination over the
+// minimal-direction graph is equivalent to, and replaced by, two O(V)
+// passes:
+//
+//  1. Every minimal-direction path from u to dstR has exactly
+//     Manhattan(u, dstR) hops, so the hop layer h(u) is known in closed
+//     form and a counting sort orders routers by layer.
+//  2. With edge cost hopCost - bigDiscount*big[r], the Dijkstra distance is
+//     hopCost*h(u) - bigDiscount*b(u), where b(u) is the maximum number of
+//     big routers on any minimal path after u (including the destination).
+//     b satisfies the layer-ordered recurrence b(u) = max over minimal
+//     out-edges u->r of b(r)+big(r), and the port Dijkstra would record is
+//     the argmax with ties broken by smaller b(r), then smaller router ID —
+//     exactly the order the heap pops equal-distance entries.
+type minimalScratch struct {
+	mesh  *topology.Mesh
+	w, ht int
+	h     []int32 // hop layer per router (Manhattan distance to dstR)
+	b     []int32 // max big-routers-after count over minimal paths
+	order []int32 // routers sorted by layer (counting sort)
+	cnt   []int32 // per-layer counters for the sort
+}
+
+func newMinimalScratch(t *topology.Mesh) *minimalScratch {
+	w, ht := t.Dims()
+	n := t.NumRouters()
+	return &minimalScratch{
+		mesh:  t,
+		w:     w,
+		ht:    ht,
+		h:     make([]int32, n),
+		b:     make([]int32, n),
+		order: make([]int32, n),
+		cnt:   make([]int32, w+ht),
 	}
-	dist[dstR] = 0
-	pq := &intHeap{{0, dstR}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
-		if it.prio > dist[it.v] {
-			continue
-		}
-		r := it.v
-		// Relax predecessors: routers u with a minimal-direction edge u->r.
-		for p := topology.PortEast; p <= topology.PortSouth; p++ {
-			link, ok := ta.topo.Neighbor(r, p)
-			if !ok {
-				continue
-			}
-			u := link.Router
-			if !ta.minimalToward(u, r, dstR) {
-				continue
-			}
-			c := hopCost
-			if ta.big[r] {
-				c -= bigDiscount
-			}
-			if nd := dist[r] + c; nd < dist[u] {
-				dist[u] = nd
-				// The edge u->r leaves u on the port opposite to p.
-				next[u] = opposite(p)
-				heap.Push(pq, heapItem{nd, u})
-			}
-		}
+}
+
+// buildDst fills next[u] with the output port toward terminal dst for every
+// router u (-1 at the destination router itself), bit-identical to the
+// Dijkstra construction it replaces.
+func (ms *minimalScratch) buildDst(big []bool, dst int, next []int) {
+	dstR, _ := ms.mesh.TerminalRouter(dst)
+	dx, dy := dstR%ms.w, dstR/ms.w
+	n := len(next)
+	// Layer assignment + counting sort by layer.
+	for i := range ms.cnt {
+		ms.cnt[i] = 0
 	}
-	return next
+	for u := 0; u < n; u++ {
+		d := absInt32(int32(u%ms.w - dx)) + absInt32(int32(u/ms.w - dy))
+		ms.h[u] = d
+		ms.cnt[d]++
+	}
+	pos := int32(0)
+	for i := range ms.cnt {
+		c := ms.cnt[i]
+		ms.cnt[i] = pos
+		pos += c
+	}
+	for u := 0; u < n; u++ {
+		ms.order[ms.cnt[ms.h[u]]] = int32(u)
+		ms.cnt[ms.h[u]]++
+	}
+	// Layer-ordered DP: each router picks the best minimal-direction
+	// neighbor one layer in. At most two candidates exist (one per
+	// dimension still unresolved).
+	next[dstR] = -1
+	ms.b[dstR] = 0
+	for qi := 1; qi < n; qi++ {
+		u := int(ms.order[qi])
+		ux, uy := u%ms.w, u/ms.w
+		bestKey, bestB := int32(-1), int32(-1)
+		bestR, bestPort := n, -1
+		try := func(r, port int) {
+			kb := ms.b[r]
+			if big[r] {
+				kb++
+			}
+			if kb > bestKey || (kb == bestKey && (ms.b[r] > bestB || (ms.b[r] == bestB && r < bestR))) {
+				bestKey, bestB, bestR, bestPort = kb, ms.b[r], r, port
+			}
+		}
+		if ux < dx {
+			try(u+1, topology.PortEast)
+		} else if ux > dx {
+			try(u-1, topology.PortWest)
+		}
+		if uy < dy {
+			try(u+ms.w, topology.PortSouth)
+		} else if uy > dy {
+			try(u-ms.w, topology.PortNorth)
+		}
+		ms.b[u] = bestKey
+		next[u] = bestPort
+	}
+}
+
+func absInt32(a int32) int32 {
+	if a < 0 {
+		return -a
+	}
+	return a
 }
 
 // minimalToward reports whether moving from router u to adjacent router v
@@ -234,25 +299,4 @@ func (ta *TableXY) PathRouters(src, dst int) []int {
 		}
 	}
 	return path
-}
-
-type heapItem struct {
-	prio int
-	v    int
-}
-
-type intHeap []heapItem
-
-func (h intHeap) Len() int { return len(h) }
-func (h intHeap) Less(i, j int) bool {
-	return h[i].prio < h[j].prio || (h[i].prio == h[j].prio && h[i].v < h[j].v)
-}
-func (h intHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
-func (h *intHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -140,6 +140,71 @@ func TestBisectionLinks(t *testing.T) {
 	}
 }
 
+// countLinks counts undirected router-to-router links by walking every
+// (router, port) pair; each link is seen from both ends.
+func countLinks(t *testing.T, m *Mesh) int {
+	t.Helper()
+	ends := 0
+	for r := 0; r < m.NumRouters(); r++ {
+		for p := 0; p < m.Radix(r); p++ {
+			if p == PortLocal {
+				continue
+			}
+			if link, ok := m.Neighbor(r, p); ok {
+				// The reverse port must point straight back.
+				back, ok := m.Neighbor(link.Router, link.Port)
+				if !ok || back.Router != r || back.Port != p {
+					t.Fatalf("link %d.%d -> %d.%d not symmetric", r, p, link.Router, link.Port)
+				}
+				ends++
+			}
+		}
+	}
+	if ends%2 != 0 {
+		t.Fatalf("odd number of link endpoints %d", ends)
+	}
+	return ends / 2
+}
+
+func TestMeshTorusLinkCountsNxM(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{2, 2}, {4, 8}, {8, 4}, {3, 5}, {16, 16}, {32, 32}} {
+		mesh := NewMesh(tc.w, tc.h)
+		// A w x h mesh has (w-1)h horizontal and w(h-1) vertical links.
+		if got, want := countLinks(t, mesh), (tc.w-1)*tc.h+tc.w*(tc.h-1); got != want {
+			t.Errorf("mesh%dx%d links = %d, want %d", tc.w, tc.h, got, want)
+		}
+		// A torus closes every row and column ring: wh + wh links.
+		torus := NewTorus(tc.w, tc.h)
+		if got, want := countLinks(t, torus), 2*tc.w*tc.h; got != want {
+			t.Errorf("torus%dx%d links = %d, want %d", tc.w, tc.h, got, want)
+		}
+		// Vertical bisection: h eastward cut links on the mesh, 2h with
+		// wraparound.
+		if got := len(mesh.BisectionLinks()); got != tc.h {
+			t.Errorf("mesh%dx%d bisection = %d, want %d", tc.w, tc.h, got, tc.h)
+		}
+		if got := len(torus.BisectionLinks()); got != 2*tc.h {
+			t.Errorf("torus%dx%d bisection = %d, want %d", tc.w, tc.h, got, 2*tc.h)
+		}
+	}
+}
+
+func TestTorusWraparoundNxM(t *testing.T) {
+	tor := NewTorus(4, 8)
+	// East off the right edge of row 2 lands on column 0 of row 2.
+	if link, ok := tor.Neighbor(tor.RouterAt(3, 2), PortEast); !ok || link.Router != tor.RouterAt(0, 2) {
+		t.Errorf("4x8 torus east wrap: got %+v, %v", link, ok)
+	}
+	// South off the bottom of column 1 lands on row 0 of column 1.
+	if link, ok := tor.Neighbor(tor.RouterAt(1, 7), PortSouth); !ok || link.Router != tor.RouterAt(1, 0) {
+		t.Errorf("4x8 torus south wrap: got %+v, %v", link, ok)
+	}
+	// Wrap shortest-path distances on the non-square shape.
+	if got := tor.HopsXY(tor.RouterAt(0, 0), tor.RouterAt(3, 7)); got != 2 {
+		t.Errorf("4x8 torus corner-to-corner hops = %d, want 2", got)
+	}
+}
+
 func TestCMeshTerminals(t *testing.T) {
 	m := NewCMesh(4, 4, 4)
 	if m.NumTerminals() != 64 {

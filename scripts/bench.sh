@@ -18,6 +18,12 @@
 # fresh processes sharing one initially-empty disk cache; the script fails
 # if the two outputs are not byte-identical).
 #
+# Mesh scaling is tracked by two per-entry fields:
+# "table_build_1024_ns_per_op" (BenchmarkTableBuild1024: full fault-free
+# route-table construction for a 32x32 mesh) and "cycle_ns_per_router_32x32"
+# (BenchmarkNetworkCycle32x32 divided by 1024 routers) — the pair that must
+# stay flat-ish as the engine scales, not just the 8x8 numbers.
+#
 # The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
 # folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
 # a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
@@ -143,6 +149,10 @@ END {
 		printf "\"ckpt_restore_ns_per_op\": %g, ", median(ns["BenchmarkCheckpointRestore"])
 	if ("BenchmarkFaultSweep" in ns)
 		printf "\"fault_sweep_ns_per_op\": %g, ", median(ns["BenchmarkFaultSweep"])
+	if ("BenchmarkTableBuild1024" in ns)
+		printf "\"table_build_1024_ns_per_op\": %g, ", median(ns["BenchmarkTableBuild1024"])
+	if ("BenchmarkNetworkCycle32x32" in ns)
+		printf "\"cycle_ns_per_router_32x32\": %.1f, ", median(ns["BenchmarkNetworkCycle32x32"]) / 1024
 	if ("BenchmarkNetworkCycle" in ns) {
 		base = median(ns["BenchmarkNetworkCycle"])
 		if (base > 0 && "BenchmarkNetworkCycleTraced" in ns)
