@@ -7,6 +7,7 @@
 package heteronoc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -55,7 +56,7 @@ func runExp(b *testing.B, id string) {
 		// across -count repetitions, which share the process), so every
 		// iteration measures a real regeneration, never a cache lookup.
 		sc.Name = fmt.Sprintf("bench-%s-%d", id, benchRunSeq.Add(1))
-		if _, err := r.Run(sc); err != nil {
+		if _, err := r.Run(context.Background(), sc); err != nil {
 			b.Fatal(err)
 		}
 	}

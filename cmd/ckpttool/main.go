@@ -91,22 +91,30 @@ func printHeader(h ckpt.Header, size int64) {
 func validate(paths []string) bool {
 	ok := true
 	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err == nil {
-			// NewReader verifies magic, header layout and the CRC over the
-			// whole container.
-			_, err = ckpt.NewReader(data)
-		}
-		if err != nil {
+		if err := validateFile(p); err != nil {
 			fmt.Printf("%s: INVALID: %v\n", p, err)
 			ok = false
 			continue
 		}
+		data, _ := os.ReadFile(p)
 		h, _ := ckpt.ReadHeader(data)
 		fmt.Printf("%s: ok (%s v%d, cycle %d, fingerprint %016x)\n",
 			p, h.Kind, h.Version, h.Cycle, h.Fingerprint)
 	}
 	return ok
+}
+
+// validateFile verifies one container's integrity: magic, header layout
+// and the CRC over the whole file. Any damage — truncation, a flipped
+// bit anywhere from header to footer — surfaces as an error wrapping
+// ckpt.ErrCorrupt, which the CLI turns into a nonzero exit.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, err = ckpt.NewReader(data)
+	return err
 }
 
 func diff(pa, pb string) bool {

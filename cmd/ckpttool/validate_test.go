@@ -1,0 +1,100 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heteronoc/internal/ckpt"
+)
+
+// buildCheckpoint writes a small valid NOCCKPT01 container to dir and
+// returns its path and bytes.
+func buildCheckpoint(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	w := ckpt.NewWriter(ckpt.Header{
+		Kind: "test-run", Version: 1, Cycle: 12345, Flits: 7, Queued: 3,
+		NextPktID: 99, Fingerprint: 0xdeadbeefcafe,
+	})
+	w.Str("body-field")
+	w.I64(-42)
+	w.Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	data := w.Finish()
+	p := filepath.Join(dir, "valid.ckpt")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p, data
+}
+
+func TestValidateFileAcceptsValidCheckpoint(t *testing.T) {
+	p, _ := buildCheckpoint(t, t.TempDir())
+	if err := validateFile(p); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	if !validate([]string{p}) {
+		t.Fatal("validate() reported failure for a valid file")
+	}
+}
+
+func TestValidateFileRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	_, data := buildCheckpoint(t, dir)
+	// Every truncation point must fail with ErrCorrupt: inside the magic,
+	// inside the header, inside the body, and into the CRC footer.
+	for _, cut := range []int{0, 3, len(ckpt.Magic) + 2, len(data) / 2, len(data) - 4, len(data) - 1} {
+		p := filepath.Join(dir, fmt.Sprintf("trunc-%d.ckpt", cut))
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := validateFile(p)
+		if err == nil {
+			t.Fatalf("cut=%d: truncated checkpoint validated", cut)
+		}
+		if !errors.Is(err, ckpt.ErrCorrupt) {
+			t.Fatalf("cut=%d: error %v does not wrap ckpt.ErrCorrupt", cut, err)
+		}
+		if validate([]string{p}) {
+			t.Fatalf("cut=%d: validate() reported ok (CLI would exit 0)", cut)
+		}
+	}
+}
+
+func TestValidateFileRejectsBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	_, data := buildCheckpoint(t, dir)
+	// Flip one bit in each region: magic, header fields, body payload and
+	// the CRC footer itself. All must fail closed with ErrCorrupt.
+	regions := map[string]int{
+		"magic":  2,
+		"header": len(ckpt.Magic) + 3,
+		"body":   len(data) - 12,
+		"footer": len(data) - 2,
+	}
+	for name, off := range regions {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		p := filepath.Join(dir, "flip-"+name+".ckpt")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := validateFile(p)
+		if err == nil {
+			t.Fatalf("%s flip at %d validated", name, off)
+		}
+		if !errors.Is(err, ckpt.ErrCorrupt) {
+			t.Fatalf("%s flip: error %v does not wrap ckpt.ErrCorrupt", name, err)
+		}
+		if validate([]string{p}) {
+			t.Fatalf("%s flip: validate() reported ok (CLI would exit 0)", name)
+		}
+	}
+}
+
+func TestValidateFileRejectsMissingFile(t *testing.T) {
+	if err := validateFile(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("missing file validated")
+	}
+}

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"heteronoc/internal/experiments"
@@ -146,6 +149,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", srv.Addr())
 	}
 
+	// Interrupts cancel the run cooperatively: every simulation loop
+	// observes the context at cycle-batch granularity, so Ctrl-C stops
+	// within a batch instead of leaving goroutines mid-flight.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var b strings.Builder
 	metrics := map[string]map[string]float64{}
 	fingerprints := map[string]string{}
@@ -154,7 +163,7 @@ func main() {
 		start := time.Now()
 		hit0, miss0 := runcache.Stats()
 		fmt.Fprintf(os.Stderr, "running %s (%s)...", r.ID, r.Name)
-		rep, err := r.Run(sc)
+		rep, err := r.Run(ctx, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\n%s: %v\n", r.ID, err)
 			os.Exit(1)

@@ -1,0 +1,19 @@
+package chaos
+
+import "context"
+
+type ctxKey struct{}
+
+// WithContext attaches c to the context so injection points deep in the
+// run path (the traffic step loop's batch boundary) can be driven without
+// threading a *Chaos through every layer. A nil c is fine; FromContext
+// then returns nil and every hook is inert.
+func WithContext(ctx context.Context, c *Chaos) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the attached Chaos, or nil.
+func FromContext(ctx context.Context) *Chaos {
+	c, _ := ctx.Value(ctxKey{}).(*Chaos)
+	return c
+}

@@ -1,6 +1,7 @@
 package cmp
 
 import (
+	"context"
 	"fmt"
 
 	"heteronoc/internal/cmp/cache"
@@ -8,8 +9,10 @@ import (
 	"heteronoc/internal/cmp/mem"
 	"heteronoc/internal/core"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/reqstat"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/stats"
+	"heteronoc/internal/suspend"
 	"heteronoc/internal/trace"
 )
 
@@ -488,11 +491,36 @@ func (s *System) Step() error {
 
 // Run advances the system for the given number of core cycles.
 func (s *System) Run(cycles int64) error {
+	return s.RunCtx(context.Background(), cycles)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is consulted
+// every traffic.CancelBatch-equivalent batch of core cycles (256), so a
+// cancelled CMP study stops within one batch instead of finishing its
+// full cycle budget. CMP runs do not checkpoint-suspend mid-flight —
+// their completed results are amortized by the run cache instead — so a
+// suspend request simply stops them via the context alongside
+// cancellation.
+func (s *System) RunCtx(ctx context.Context, cycles int64) error {
+	const batch = 256
+	sus := suspend.FromContext(ctx)
+	since := int64(0)
 	for i := int64(0); i < cycles; i++ {
 		if err := s.Step(); err != nil {
 			return fmt.Errorf("cmp: cycle %d: %w", s.now, err)
 		}
+		if since++; since >= batch {
+			reqstat.AddCycles(ctx, since)
+			since = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if sus.Requested() {
+				return suspend.ErrSuspended
+			}
+		}
 	}
+	reqstat.AddCycles(ctx, since)
 	return nil
 }
 

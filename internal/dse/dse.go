@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -132,13 +133,19 @@ type EvalConfig struct {
 // (fixed-seed, one network each) and fan out on the par worker pool without
 // affecting any score.
 func Explore(cfg EvalConfig) ([]Candidate, error) {
+	return ExploreCtx(context.Background(), cfg)
+}
+
+// ExploreCtx is Explore with cooperative cancellation, observed between
+// candidate probes (dispatch stops) and inside each probe's step loop.
+func ExploreCtx(ctx context.Context, cfg EvalConfig) ([]Candidate, error) {
 	var sets [][]int
 	Enumerate(cfg.W, cfg.H, cfg.BigCount, cfg.ReduceSymmetry, func(big []int) bool {
 		sets = append(sets, big)
 		return cfg.MaxCandidates == 0 || len(sets) < cfg.MaxCandidates
 	})
-	out, err := par.Map(len(sets), func(i int) (Candidate, error) {
-		return Evaluate(cfg, sets[i])
+	out, err := par.MapCtx(ctx, len(sets), func(ctx context.Context, i int) (Candidate, error) {
+		return EvaluateCtx(ctx, cfg, sets[i])
 	})
 	if err != nil {
 		return nil, err
@@ -157,20 +164,27 @@ func Explore(cfg EvalConfig) ([]Candidate, error) {
 // are memoized in runcache: Anneal revisiting a placement, or an Explore
 // re-run in the same process, reuses the first probe.
 func Evaluate(cfg EvalConfig, bigSet []int) (Candidate, error) {
+	return EvaluateCtx(context.Background(), cfg, bigSet)
+}
+
+// EvaluateCtx is Evaluate with a context; the probe's step loop observes
+// it at cycle-batch granularity, and the probe checkpoint-suspends under
+// its cache key like any other network run.
+func EvaluateCtx(ctx context.Context, cfg EvalConfig, bigSet []int) (Candidate, error) {
 	key := fmt.Sprintf("dse|%dx%d|big=%v|bl=%t|r=%g|p=%d|seed=%d",
 		cfg.W, cfg.H, bigSet, cfg.LinkRedist, cfg.InjectionRate, cfg.Packets, cfg.Seed)
-	return runcache.For(key, func() (Candidate, error) {
-		return evaluateUncached(cfg, bigSet)
+	return runcache.ForCtx(ctx, key, func(ctx context.Context) (Candidate, error) {
+		return evaluateUncached(ctx, key, cfg, bigSet)
 	})
 }
 
-func evaluateUncached(cfg EvalConfig, bigSet []int) (Candidate, error) {
+func evaluateUncached(ctx context.Context, key string, cfg EvalConfig, bigSet []int) (Candidate, error) {
 	layout := core.NewCustom(fmt.Sprintf("dse%v", bigSet), cfg.W, cfg.H, bigSet, cfg.LinkRedist)
 	net, err := layout.Network()
 	if err != nil {
 		return Candidate{}, err
 	}
-	res, err := traffic.Run(net, traffic.RunConfig{
+	res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 		Pattern:        traffic.UniformRandom{N: cfg.W * cfg.H},
 		Process:        traffic.Bernoulli{P: cfg.InjectionRate},
 		DataFlits:      layout.DataPacketFlits(),
@@ -178,6 +192,7 @@ func evaluateUncached(cfg EvalConfig, bigSet []int) (Candidate, error) {
 		MeasurePackets: cfg.Packets,
 		Seed:           cfg.Seed,
 		MaxCycles:      int64(cfg.Packets) * 100,
+		SuspendKey:     key,
 	})
 	if err != nil {
 		return Candidate{}, err
@@ -236,6 +251,12 @@ type AnnealResult struct {
 
 // Anneal runs the search. It is deterministic for a given configuration.
 func Anneal(cfg AnnealConfig) (AnnealResult, error) {
+	return AnnealCtx(context.Background(), cfg)
+}
+
+// AnnealCtx is Anneal with cooperative cancellation between (and inside)
+// the chain's probe evaluations.
+func AnnealCtx(ctx context.Context, cfg AnnealConfig) (AnnealResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := cfg.Eval.W * cfg.Eval.H
 	k := cfg.Eval.BigCount
@@ -249,12 +270,15 @@ func Anneal(cfg AnnealConfig) (AnnealResult, error) {
 	perm := rng.Perm(n)
 	cur := append([]int(nil), perm[:k]...)
 	sort.Ints(cur)
-	curCand, err := Evaluate(cfg.Eval, cur)
+	curCand, err := EvaluateCtx(ctx, cfg.Eval, cur)
 	if err != nil {
 		return AnnealResult{}, err
 	}
 	res := AnnealResult{Best: curCand, Initial: curCand, Steps: cfg.Steps}
 	for step := 0; step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return AnnealResult{}, err
+		}
 		temp := cfg.StartTemp * (1 - float64(step)/float64(cfg.Steps))
 		// Propose: swap one big router with one small position.
 		next := append([]int(nil), cur...)
@@ -272,7 +296,7 @@ func Anneal(cfg AnnealConfig) (AnnealResult, error) {
 		}
 		next[out] = repl
 		sort.Ints(next)
-		cand, err := Evaluate(cfg.Eval, next)
+		cand, err := EvaluateCtx(ctx, cfg.Eval, next)
 		if err != nil {
 			return AnnealResult{}, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/cmp/coherence"
 	"heteronoc/internal/core"
@@ -35,16 +37,16 @@ type appResult struct {
 // Fig11/12 and Fig13, and every run is deterministic. Runs with custom
 // cores or a custom routing algorithm bypass the cache — those inputs
 // have no canonical key.
-func runApp(l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
+func runApp(ctx context.Context, l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
 	if cores == nil && alg == nil {
-		return runcache.For(appKey(l, bench, sc, mcTiles), func() (appResult, error) {
-			return runAppUncached(l, bench, sc, mcTiles, nil, nil)
+		return runcache.ForCtx(ctx, appKey(l, bench, sc, mcTiles), func(ctx context.Context) (appResult, error) {
+			return runAppUncached(ctx, l, bench, sc, mcTiles, nil, nil)
 		})
 	}
-	return runAppUncached(l, bench, sc, mcTiles, cores, alg)
+	return runAppUncached(ctx, l, bench, sc, mcTiles, cores, alg)
 }
 
-func runAppUncached(l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
+func runAppUncached(ctx context.Context, l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
 	p, err := trace.ProfileByName(bench)
 	if err != nil {
 		return appResult{}, err
@@ -64,8 +66,8 @@ func runAppUncached(l core.Layout, bench string, sc Scale, mcTiles []int, cores 
 	if err != nil {
 		return appResult{}, err
 	}
-	warmSystem(s, l, bench, sc)
-	if err := s.Run(sc.CMPCycles); err != nil {
+	warmSystem(ctx, s, l, bench, sc)
+	if err := s.RunCtx(ctx, sc.CMPCycles); err != nil {
 		return appResult{}, err
 	}
 	return collect(s, l), nil
@@ -104,7 +106,7 @@ func appLayouts() []core.Layout {
 // Fig10 compares heterogeneity on a mesh versus a torus: latency reduction
 // of Diagonal+BL over the homogeneous network, per application, on both
 // topologies (Section 5.1.1).
-func Fig10(sc Scale) (*Report, error) {
+func Fig10(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig10", "Latency reduction: 8x8 mesh vs torus")
 	benches := append(append([]string{}, trace.CommercialNames()...), trace.PARSECNames()...)
 	meshBase := core.NewBaseline(8, 8)
@@ -113,14 +115,14 @@ func Fig10(sc Scale) (*Report, error) {
 	torHet := meshHet.OnTorus()
 	r.Printf("| benchmark | mesh reduction %% | torus reduction %% |\n|---|---|---|\n")
 	layouts10 := []core.Layout{meshBase, meshHet, torBase, torHet}
-	var jobs []func() (appResult, error)
+	var jobs []func(ctx context.Context) (appResult, error)
 	for _, b := range benches {
 		for _, l := range layouts10 {
 			b, l := b, l
-			jobs = append(jobs, func() (appResult, error) { return runApp(l, b, sc, nil, nil, nil) })
+			jobs = append(jobs, func(ctx context.Context) (appResult, error) { return runApp(ctx, l, b, sc, nil, nil, nil) })
 		}
 	}
-	flat, err := runAll(jobs)
+	flat, err := runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -146,14 +148,14 @@ func Fig10(sc Scale) (*Report, error) {
 // Fig11 reports application latency reduction/breakdown and power
 // reduction/breakdown; Fig12 reports IPC improvements. Both come from the
 // same set of CMP runs, executed once and shared.
-func Fig11(sc Scale) (*Report, error) {
-	r11, _, err := appStudy(sc)
+func Fig11(ctx context.Context, sc Scale) (*Report, error) {
+	r11, _, err := appStudy(ctx, sc)
 	return r11, err
 }
 
 // Fig12 reports the per-suite IPC improvements of Figure 12.
-func Fig12(sc Scale) (*Report, error) {
-	_, r12, err := appStudy(sc)
+func Fig12(ctx context.Context, sc Scale) (*Report, error) {
+	_, r12, err := appStudy(ctx, sc)
 	return r12, err
 }
 
@@ -161,7 +163,7 @@ func Fig12(sc Scale) (*Report, error) {
 // Fig12 are requested in one process.
 var appStudyCache = map[string][2]*Report{}
 
-func appStudy(sc Scale) (*Report, *Report, error) {
+func appStudy(ctx context.Context, sc Scale) (*Report, *Report, error) {
 	if c, ok := appStudyCache[sc.Name]; ok {
 		return c[0], c[1], nil
 	}
@@ -169,14 +171,14 @@ func appStudy(sc Scale) (*Report, *Report, error) {
 	r12 := newReport("fig12", "IPC improvement")
 	layouts := appLayouts()
 	benches := append(append([]string{}, trace.CommercialNames()...), trace.PARSECNames()...)
-	var jobs []func() (appResult, error)
+	var jobs []func(ctx context.Context) (appResult, error)
 	for _, b := range benches {
 		for _, l := range layouts {
 			b, l := b, l
-			jobs = append(jobs, func() (appResult, error) { return runApp(l, b, sc, nil, nil, nil) })
+			jobs = append(jobs, func(ctx context.Context) (appResult, error) { return runApp(ctx, l, b, sc, nil, nil, nil) })
 		}
 	}
-	flat, err := runAll(jobs)
+	flat, err := runAll(ctx, jobs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -317,8 +319,8 @@ func appStudy(sc Scale) (*Report, *Report, error) {
 // runAll executes independent CMP jobs concurrently (each job builds its
 // own System with fixed seeds, so parallelism cannot change any result)
 // and returns results in job order.
-func runAll(jobs []func() (appResult, error)) ([]appResult, error) {
-	return par.Map(len(jobs), func(i int) (appResult, error) {
-		return jobs[i]()
+func runAll(ctx context.Context, jobs []func(ctx context.Context) (appResult, error)) ([]appResult, error) {
+	return par.MapCtx(ctx, len(jobs), func(ctx context.Context, i int) (appResult, error) {
+		return jobs[i](ctx)
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -19,7 +20,7 @@ func TestFig10TorusBenefitSmaller(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CMP sweep")
 	}
-	r, err := Fig10(cmpTiny())
+	r, err := Fig10(context.Background(), cmpTiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestFig11And12(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CMP sweep")
 	}
-	r11, err := Fig11(cmpTiny())
+	r11, err := Fig11(context.Background(), cmpTiny())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r12, err := Fig12(cmpTiny())
+	r12, err := Fig12(context.Background(), cmpTiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFig13PlacementOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CMP sweep")
 	}
-	r, err := Fig13(cmpTiny())
+	r, err := Fig13(context.Background(), cmpTiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestFig14TableRoutingHelps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CMP sweep")
 	}
-	r, err := Fig14(cmpTiny())
+	r, err := Fig14(context.Background(), cmpTiny())
 	if err != nil {
 		t.Fatal(err)
 	}

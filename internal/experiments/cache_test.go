@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -34,11 +35,11 @@ func TestRunNetCached(t *testing.T) {
 	l := core.NewBaseline(4, 4)
 	pat := traffic.UniformRandom{N: 16}
 
-	first, err := runNet(l, pat, 0.02, sc, false)
+	first, err := runNet(context.Background(), l, pat, 0.02, sc, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := runNet(l, pat, 0.02, sc, false)
+	again, err := runNet(context.Background(), l, pat, 0.02, sc, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunNetCached(t *testing.T) {
 	}
 
 	// A different rate is a different recipe: no false sharing.
-	if _, err := runNet(l, pat, 0.03, sc, false); err != nil {
+	if _, err := runNet(context.Background(), l, pat, 0.03, sc, false); err != nil {
 		t.Fatal(err)
 	}
 	if hit, miss := runcache.Stats(); hit != 1 || miss != 2 {
@@ -60,7 +61,7 @@ func TestRunNetCached(t *testing.T) {
 	// And the memoized result matches a genuinely uncached simulation.
 	runcache.SetEnabled(false)
 	defer runcache.SetEnabled(true)
-	fresh, err := runNet(l, pat, 0.02, sc, false)
+	fresh, err := runNet(context.Background(), l, pat, 0.02, sc, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func TestRunAppCached(t *testing.T) {
 	sc := cacheTestScale("cachetest-app")
 	l := core.NewBaseline(4, 4)
 
-	first, err := runApp(l, "SPECjbb", sc, nil, nil, nil)
+	first, err := runApp(context.Background(), l, "SPECjbb", sc, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w, h := l.Mesh.Dims()
 	corners := mem.Tiles(mem.PlacementCorners, w, h)
-	again, err := runApp(l, "SPECjbb", sc, corners, nil, nil)
+	again, err := runApp(context.Background(), l, "SPECjbb", sc, corners, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestRunAppCached(t *testing.T) {
 	// Cached result equals a fresh simulation.
 	runcache.SetEnabled(false)
 	defer runcache.SetEnabled(true)
-	fresh, err := runApp(l, "SPECjbb", sc, nil, nil, nil)
+	fresh, err := runApp(context.Background(), l, "SPECjbb", sc, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFigureOutputIdenticalWithAndWithoutCache(t *testing.T) {
 	}()
 	sc := cacheTestScale("cachetest-fig")
 
-	cold, err := Fig1(sc)
+	cold, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFigureOutputIdenticalWithAndWithoutCache(t *testing.T) {
 	if missCold == 0 {
 		t.Fatal("cold figure run recorded no cache misses; runNet is not routed through runcache")
 	}
-	warm, err := Fig1(sc)
+	warm, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFigureOutputIdenticalWithAndWithoutCache(t *testing.T) {
 		t.Fatalf("warm figure run: stats = %d hits / %d misses, want hits > 0 and no new misses", hitWarm, missWarm)
 	}
 	runcache.SetEnabled(false)
-	uncached, err := Fig1(sc)
+	uncached, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/cmp/mem"
 	"heteronoc/internal/core"
@@ -46,7 +48,7 @@ func urTraces(n int) []trace.Reader {
 // Fig13 co-evaluates memory-controller placement with HeteroNoC: round-trip
 // request-response latency reductions and the latency/jitter scatter of
 // requests to the controllers.
-func Fig13(sc Scale) (*Report, error) {
+func Fig13(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig13", "Memory-controller placement co-evaluation")
 	configs := fig13Configs()
 	benches := append([]string{"UR"}, append(append([]string{},
@@ -56,21 +58,21 @@ func Fig13(sc Scale) (*Report, error) {
 		rtt   float64
 		mcLat stats.Summary
 	}
-	var jobs []func() (appResult, error)
+	var jobs []func(ctx context.Context) (appResult, error)
 	for _, b := range benches {
 		for _, cfgc := range configs {
 			b, cfgc := b, cfgc
-			jobs = append(jobs, func() (appResult, error) {
+			jobs = append(jobs, func(ctx context.Context) (appResult, error) {
 				w, h := cfgc.layout.Mesh.Dims()
 				mcTiles := mem.Tiles(cfgc.placement, w, h)
 				if b == "UR" {
-					return runURApp(cfgc.layout, sc, mcTiles)
+					return runURApp(ctx, cfgc.layout, sc, mcTiles)
 				}
-				return runApp(cfgc.layout, b, sc, mcTiles, nil, nil)
+				return runApp(ctx, cfgc.layout, b, sc, mcTiles, nil, nil)
 			})
 		}
 	}
-	flat, err := runAll(jobs)
+	flat, err := runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -128,13 +130,13 @@ func Fig13(sc Scale) (*Report, error) {
 
 // runURApp runs the closed-loop UR workload on a layout. Deterministic,
 // so memoized in runcache like runApp.
-func runURApp(l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
-	return runcache.For(urAppKey(l, sc, mcTiles), func() (appResult, error) {
-		return runURAppUncached(l, sc, mcTiles)
+func runURApp(ctx context.Context, l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
+	return runcache.ForCtx(ctx, urAppKey(l, sc, mcTiles), func(ctx context.Context) (appResult, error) {
+		return runURAppUncached(ctx, l, sc, mcTiles)
 	})
 }
 
-func runURAppUncached(l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
+func runURAppUncached(ctx context.Context, l core.Layout, sc Scale, mcTiles []int) (appResult, error) {
 	n := l.Mesh.NumTerminals()
 	s, err := cmp.New(cmp.Config{Layout: l, Traces: urTraces(n), MCTiles: mcTiles})
 	if err != nil {
@@ -142,7 +144,7 @@ func runURAppUncached(l core.Layout, sc Scale, mcTiles []int) (appResult, error)
 	}
 	// No warmup: UR is all cold misses by construction (the paper's
 	// closed-loop evaluation with 16 outstanding requests per node).
-	if err := s.Run(sc.CMPCycles); err != nil {
+	if err := s.RunCtx(ctx, sc.CMPCycles); err != nil {
 		return appResult{}, err
 	}
 	return collect(s, l), nil
@@ -204,7 +206,7 @@ type asymConfig struct {
 // small cores, on the homogeneous network, the Diagonal+BL HeteroNoC with
 // X-Y routing, and the HeteroNoC with table-based routing (plus escape
 // VCs) for large-core flows.
-func Fig14(sc Scale) (*Report, error) {
+func Fig14(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig14", "Asymmetric CMP: weighted and harmonic speedup")
 	largeTiles := []int{0, 7, 56, 63}
 	configs := []asymConfig{
@@ -220,7 +222,7 @@ func Fig14(sc Scale) (*Report, error) {
 	// Each job builds its own System — and its own routing table, since an
 	// Algorithm must not be shared across concurrently stepping networks.
 	actives := []func(int) bool{isLarge, small, func(int) bool { return true }}
-	systems, err := par.Map(len(configs)*len(actives), func(k int) (*cmp.System, error) {
+	systems, err := par.MapCtx(ctx, len(configs)*len(actives), func(ctx context.Context, k int) (*cmp.System, error) {
 		c := configs[k/len(actives)]
 		var alg routing.Algorithm
 		if c.table {
@@ -238,7 +240,7 @@ func Fig14(sc Scale) (*Report, error) {
 			return nil, err
 		}
 		s.Warmup(sc.CMPWarmupEntries)
-		if err := s.Run(sc.CMPCycles); err != nil {
+		if err := s.RunCtx(ctx, sc.CMPCycles); err != nil {
 			return nil, err
 		}
 		return s, nil
@@ -301,7 +303,7 @@ func minIPCOf(s *cmp.System, sel func(int) bool) float64 {
 
 // DSE reproduces the footnote-4 exploration: candidate counts, a symmetry-
 // reduced scored sweep on the 4x4 mesh, and the diagonal placement's rank.
-func DSE(sc Scale) (*Report, error) {
+func DSE(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("dse", "4x4 design-space exploration")
 	r.Printf("Candidate placements on a 4x4 mesh (paper footnote 4):\n\n")
 	r.Printf("| split (small, big) | candidates |\n|---|---|\n")
@@ -311,7 +313,7 @@ func DSE(sc Scale) (*Report, error) {
 		r.Metrics[keyNameInt("candidates", k)] = float64(c.Int64())
 	}
 	r.Printf("| 8x8: (48, 16) | %s (infeasible to sweep) |\n\n", dse.Combinations(64, 16).String())
-	res, err := dse.Explore(dse.EvalConfig{
+	res, err := dse.ExploreCtx(ctx, dse.EvalConfig{
 		W: 4, H: 4, BigCount: 4, LinkRedist: true,
 		InjectionRate:  0.06,
 		Packets:        sc.DSEPackets,

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,11 +116,14 @@ func (r *Report) Markdown() string {
 	return b.String()
 }
 
-// Runner names an experiment generator.
+// Runner names an experiment generator. Run observes its context at
+// cycle-batch granularity: a cancelled context stops the underlying
+// simulations within one batch, and a suspend.Controller on the context
+// checkpoints in-flight network runs instead (see internal/suspend).
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(Scale) (*Report, error)
+	Run  func(ctx context.Context, sc Scale) (*Report, error)
 }
 
 // All lists every experiment in paper order.
@@ -127,7 +131,7 @@ func All() []Runner {
 	return []Runner{
 		{"fig1", "Buffer and link utilization heat maps (8x8 mesh, UR)", Fig1},
 		{"fig2", "Buffer utilization in concentrated mesh and flattened butterfly", Fig2},
-		{"table1", "Router design points and resource accounting", func(Scale) (*Report, error) { return Table1() }},
+		{"table1", "Router design points and resource accounting", func(context.Context, Scale) (*Report, error) { return Table1() }},
 		{"fig7", "UR load sweep: latency, throughput, power", Fig7},
 		{"fig8", "UR latency and power breakdowns", Fig8},
 		{"fig9", "Nearest-neighbor anomaly", Fig9},

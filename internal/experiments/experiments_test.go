@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func tiny() Scale {
 }
 
 func TestFig1HotCenter(t *testing.T) {
-	r, err := Fig1(tiny())
+	r, err := Fig1(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestFig1HotCenter(t *testing.T) {
 }
 
 func TestFig2NonUniform(t *testing.T) {
-	r, err := Fig2(tiny())
+	r, err := Fig2(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestTable1ExactNumbers(t *testing.T) {
 }
 
 func TestFig7HeteroWins(t *testing.T) {
-	r, err := Fig7(tiny())
+	r, err := Fig7(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFig7HeteroWins(t *testing.T) {
 }
 
 func TestFig8BlockingReduced(t *testing.T) {
-	r, err := Fig8(tiny())
+	r, err := Fig8(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFig8BlockingReduced(t *testing.T) {
 }
 
 func TestFig9CenterBeatsDiagonalOnNN(t *testing.T) {
-	r, err := Fig9(tiny())
+	r, err := Fig9(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig9CenterBeatsDiagonalOnNN(t *testing.T) {
 }
 
 func TestDSEMatchesPaperCounts(t *testing.T) {
-	r, err := DSE(tiny())
+	r, err := DSE(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestReportMarkdown(t *testing.T) {
 }
 
 func TestFiguresAttached(t *testing.T) {
-	r, err := Fig1(tiny())
+	r, err := Fig1(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestFiguresAttached(t *testing.T) {
 			t.Errorf("figure %s is not an SVG document", f.Name)
 		}
 	}
-	r7, err := Fig7(tiny())
+	r7, err := Fig7(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +189,11 @@ func TestExperimentsDeterministic(t *testing.T) {
 	// Two runs of the same experiment must produce identical metrics (the
 	// whole stack is seeded; EXPERIMENTS.md promises byte-identical
 	// reports).
-	a, err := Fig1(tiny())
+	a, err := Fig1(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig1(tiny())
+	b, err := Fig1(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}

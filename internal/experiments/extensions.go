@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"heteronoc/internal/analytic"
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/core"
@@ -64,7 +66,7 @@ func ablationNetwork(l core.Layout, wide, split, vcs bool) (*noc.Network, error)
 // Ablation quantifies what each HeteroNoC mechanism contributes to the
 // Diagonal+BL latency win: wide links (flit combining), the split-datapath
 // allocator, and the VC redistribution.
-func Ablation(sc Scale) (*Report, error) {
+func Ablation(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("ablation", "Mechanism ablation of Diagonal+BL (extension)")
 	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
 	const rate = 0.048
@@ -86,7 +88,7 @@ func Ablation(sc Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := traffic.Run(net, traffic.RunConfig{
+		res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 			Pattern:        traffic.UniformRandom{N: 64},
 			Process:        traffic.Bernoulli{P: rate},
 			DataFlits:      l.DataPacketFlits(),
@@ -113,7 +115,7 @@ func Ablation(sc Scale) (*Report, error) {
 // study the paper defers to future work): diagonal-style placements with
 // 8, 16, 24 and 32 big routers, reporting performance and the power
 // inequality.
-func Sensitivity(sc Scale) (*Report, error) {
+func Sensitivity(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("sensitivity", "Number of big routers (extension)")
 	const rate = 0.048
 	pm := power.NewModel()
@@ -124,7 +126,7 @@ func Sensitivity(sc Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := traffic.Run(net, traffic.RunConfig{
+		res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 			Pattern:        traffic.UniformRandom{N: 64},
 			Process:        traffic.Bernoulli{P: rate},
 			DataFlits:      l.DataPacketFlits(),
@@ -192,7 +194,7 @@ func firstKDiagonal(k int) []int {
 // Patterns runs baseline vs Diagonal+BL across all five synthetic traffic
 // patterns (the paper reports that transpose, bit-complement and
 // self-similar "are very similar in trend" to UR without showing them).
-func Patterns(sc Scale) (*Report, error) {
+func Patterns(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("patterns", "All synthetic traffic patterns (extension)")
 	base := core.NewBaseline(8, 8)
 	diag := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
@@ -212,11 +214,11 @@ func Patterns(sc Scale) (*Report, error) {
 	pm := power.NewModel()
 	r.Printf("| pattern | base latency | diag latency | latency red %% | power red %% |\n|---|---|---|---|---|\n")
 	for _, p := range pats {
-		bres, err := runNet(base, p.make(base), p.rate, sc, p.selfSim)
+		bres, err := runNet(ctx, base, p.make(base), p.rate, sc, p.selfSim)
 		if err != nil {
 			return nil, err
 		}
-		dres, err := runNet(diag, p.make(diag), p.rate, sc, p.selfSim)
+		dres, err := runNet(ctx, diag, p.make(diag), p.rate, sc, p.selfSim)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +239,7 @@ func Patterns(sc Scale) (*Report, error) {
 // savings in any non-edge symmetric NoC" — by applying the big/small
 // router split to the concentrated mesh and the flattened butterfly of
 // Figure 2 and measuring the uniform-random latency change.
-func Generality(sc Scale) (*Report, error) {
+func Generality(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("generality", "HeteroNoC on other non-edge-symmetric topologies (extension)")
 	small := noc.RouterConfig{VCs: 2, BufDepth: 5, SplitDatapath: true, ImprovedSA: true}
 	big := noc.RouterConfig{VCs: 6, BufDepth: 5, Wide: true, SplitDatapath: true, ImprovedSA: true}
@@ -269,7 +271,7 @@ func Generality(sc Scale) (*Report, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := traffic.Run(net, traffic.RunConfig{
+			res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 				Pattern:        traffic.UniformRandom{N: c.topo.NumTerminals()},
 				Process:        traffic.Bernoulli{P: c.rate},
 				DataFlits:      6,
@@ -318,7 +320,7 @@ func Generality(sc Scale) (*Report, error) {
 // routing. The paper's claim is that HeteroNoC's benefit comes from
 // resource placement "without changing the routing or the traffic flows";
 // if that is right, the homo-vs-hetero gap must survive a smarter router.
-func Adaptive(sc Scale) (*Report, error) {
+func Adaptive(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("adaptive", "X-Y vs west-first adaptive routing (extension)")
 	const rate = 0.048
 	layouts := []core.Layout{
@@ -344,7 +346,7 @@ func Adaptive(sc Scale) (*Report, error) {
 			if wf != nil {
 				wf.Congestion = net.PortCongestion
 			}
-			res, err := traffic.Run(net, traffic.RunConfig{
+			res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 				Pattern:        traffic.UniformRandom{N: 64},
 				Process:        traffic.Bernoulli{P: rate},
 				DataFlits:      l.DataPacketFlits(),
@@ -383,7 +385,7 @@ func Adaptive(sc Scale) (*Report, error) {
 // sweep exhaustively (C(64,16) = 4.89e14): simulated annealing over 8x8
 // placements of 16 big routers, compared against the paper's hand-designed
 // diagonal layout.
-func Anneal8x8(sc Scale) (*Report, error) {
+func Anneal8x8(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("anneal", "Simulated annealing over 8x8 placements (extension)")
 	eval := dse.EvalConfig{
 		W: 8, H: 8, BigCount: 16, LinkRedist: true,
@@ -395,11 +397,11 @@ func Anneal8x8(sc Scale) (*Report, error) {
 	if steps < 8 {
 		steps = 8
 	}
-	res, err := dse.Anneal(dse.AnnealConfig{Eval: eval, Steps: steps, Seed: 11})
+	res, err := dse.AnnealCtx(ctx, dse.AnnealConfig{Eval: eval, Steps: steps, Seed: 11})
 	if err != nil {
 		return nil, err
 	}
-	diag, err := dse.Evaluate(eval, core.BigRouters(core.PlacementDiagonal, 8, 8))
+	diag, err := dse.EvaluateCtx(ctx, eval, core.BigRouters(core.PlacementDiagonal, 8, 8))
 	if err != nil {
 		return nil, err
 	}
@@ -419,7 +421,7 @@ func Anneal8x8(sc Scale) (*Report, error) {
 // two things: streaming workloads speed up, and the homo-vs-hetero network
 // comparison is robust to the richer memory system (prefetch traffic loads
 // the network more, which if anything favors the heterogeneous design).
-func Prefetch(sc Scale) (*Report, error) {
+func Prefetch(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("prefetch", "L1 next-line prefetcher (extension)")
 	layouts := []core.Layout{
 		core.NewBaseline(8, 8),
@@ -432,7 +434,7 @@ func Prefetch(sc Scale) (*Report, error) {
 		rows[b] = map[string]cell{}
 		for _, l := range layouts {
 			for _, pf := range []bool{false, true} {
-				res, err := runAppPrefetch(l, b, sc, pf)
+				res, err := runAppPrefetch(ctx, l, b, sc, pf)
 				if err != nil {
 					return nil, err
 				}
@@ -464,7 +466,7 @@ func Prefetch(sc Scale) (*Report, error) {
 }
 
 // runAppPrefetch is runApp with the prefetcher toggle.
-func runAppPrefetch(l core.Layout, bench string, sc Scale, prefetch bool) (appResult, error) {
+func runAppPrefetch(ctx context.Context, l core.Layout, bench string, sc Scale, prefetch bool) (appResult, error) {
 	p, err := trace.ProfileByName(bench)
 	if err != nil {
 		return appResult{}, err
@@ -478,8 +480,8 @@ func runAppPrefetch(l core.Layout, bench string, sc Scale, prefetch bool) (appRe
 	if err != nil {
 		return appResult{}, err
 	}
-	warmSystem(s, l, bench, sc)
-	if err := s.Run(sc.CMPCycles); err != nil {
+	warmSystem(ctx, s, l, bench, sc)
+	if err := s.RunCtx(ctx, sc.CMPCycles); err != nil {
 		return appResult{}, err
 	}
 	return collect(s, l), nil
@@ -489,16 +491,16 @@ func runAppPrefetch(l core.Layout, bench string, sc Scale, prefetch bool) (appRe
 // tail of the latency distribution even more than its mean, the same
 // predictability story the paper tells for memory controllers in Figure
 // 13(b), here for ordinary traffic.
-func Tails(sc Scale) (*Report, error) {
+func Tails(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("tails", "Latency tail behavior (extension)")
 	const rate = 0.048
 	base := core.NewBaseline(8, 8)
 	diag := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
-	bres, err := runNet(base, traffic.UniformRandom{N: 64}, rate, sc, false)
+	bres, err := runNet(ctx, base, traffic.UniformRandom{N: 64}, rate, sc, false)
 	if err != nil {
 		return nil, err
 	}
-	dres, err := runNet(diag, traffic.UniformRandom{N: 64}, rate, sc, false)
+	dres, err := runNet(ctx, diag, traffic.UniformRandom{N: 64}, rate, sc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -527,7 +529,7 @@ func Tails(sc Scale) (*Report, error) {
 // independent closed-form M/D/1 latency model in internal/analytic.
 // Agreement at low/moderate load is evidence against systematic timing
 // bugs in either implementation.
-func Model(sc Scale) (*Report, error) {
+func Model(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("model", "Analytical cross-validation (extension)")
 	layouts := []core.Layout{
 		core.NewBaseline(8, 8),
@@ -539,7 +541,7 @@ func Model(sc Scale) (*Report, error) {
 	for _, l := range layouts {
 		am := analytic.NewMeshModel(l, l.DataPacketFlits())
 		for _, rate := range rates {
-			res, err := runNet(l, traffic.UniformRandom{N: 64}, rate, sc, false)
+			res, err := runNet(ctx, l, traffic.UniformRandom{N: 64}, rate, sc, false)
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationRanksMechanisms(t *testing.T) {
-	r, err := Ablation(tiny())
+	r, err := Ablation(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +22,7 @@ func TestAblationRanksMechanisms(t *testing.T) {
 }
 
 func TestSensitivityGuideline(t *testing.T) {
-	r, err := Sensitivity(tiny())
+	r, err := Sensitivity(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,7 @@ func TestSensitivityGuideline(t *testing.T) {
 }
 
 func TestPatternsAllRun(t *testing.T) {
-	r, err := Patterns(tiny())
+	r, err := Patterns(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func TestPatternsAllRun(t *testing.T) {
 }
 
 func TestGeneralityTransfers(t *testing.T) {
-	r, err := Generality(tiny())
+	r, err := Generality(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func TestGeneralityTransfers(t *testing.T) {
 }
 
 func TestAdaptiveKeepsHeteroAdvantage(t *testing.T) {
-	r, err := Adaptive(tiny())
+	r, err := Adaptive(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestAdaptiveKeepsHeteroAdvantage(t *testing.T) {
 }
 
 func TestAnneal8x8Runs(t *testing.T) {
-	r, err := Anneal8x8(tiny())
+	r, err := Anneal8x8(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,7 @@ func TestPrefetchHelpsStreaming(t *testing.T) {
 	sc := tiny()
 	sc.CMPWarmupEntries = 20000
 	sc.CMPCycles = 5000
-	r, err := Prefetch(sc)
+	r, err := Prefetch(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +120,7 @@ func TestPrefetchHelpsStreaming(t *testing.T) {
 }
 
 func TestTailsCompress(t *testing.T) {
-	r, err := Tails(tiny())
+	r, err := Tails(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +136,7 @@ func TestScaleUpDeterministicAndAdvantageous(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1024-router sweeps")
 	}
-	r, err := ScaleUp(tiny())
+	r, err := ScaleUp(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +165,7 @@ func TestScaleUpDeterministicAndAdvantageous(t *testing.T) {
 }
 
 func TestModelCrossValidates(t *testing.T) {
-	r, err := Model(tiny())
+	r, err := Model(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"heteronoc/internal/core"
@@ -8,6 +9,7 @@ import (
 	"heteronoc/internal/noc"
 	"heteronoc/internal/par"
 	"heteronoc/internal/plot"
+	"heteronoc/internal/reqstat"
 	"heteronoc/internal/routing"
 	"heteronoc/internal/traffic"
 )
@@ -52,7 +54,7 @@ type degResult struct {
 // runReliable offers uniform-random traffic at flitRate flits/node/cycle
 // through the end-to-end reliability layer for injectCycles, then drains
 // until every transfer is delivered or abandoned.
-func runReliable(l core.Layout, plan *fault.Plan, flitRate float64, injectCycles int64, seed int64) (degResult, error) {
+func runReliable(ctx context.Context, l core.Layout, plan *fault.Plan, flitRate float64, injectCycles int64, seed int64) (degResult, error) {
 	net, err := faultNet(l, plan)
 	if err != nil {
 		return degResult{}, err
@@ -62,6 +64,18 @@ func runReliable(l core.Layout, plan *fault.Plan, flitRate float64, injectCycles
 	pktRate := flitRate / float64(flits)
 	n := l.Mesh.NumTerminals()
 	rng := rand.New(rand.NewSource(seed))
+	// Reliability runs don't checkpoint-suspend (the retry layer's state
+	// has no snapshot format); they observe plain cancellation at the
+	// usual cycle-batch granularity instead.
+	since := 0
+	batch := func() error {
+		if since++; since >= traffic.CancelBatch {
+			reqstat.AddCycles(ctx, int64(since))
+			since = 0
+			return ctx.Err()
+		}
+		return nil
+	}
 	for c := int64(0); c < injectCycles; c++ {
 		for t := 0; t < n; t++ {
 			if rng.Float64() < pktRate {
@@ -72,10 +86,16 @@ func runReliable(l core.Layout, plan *fault.Plan, flitRate float64, injectCycles
 		if err := rel.Step(); err != nil {
 			return degResult{}, err
 		}
+		if err := batch(); err != nil {
+			return degResult{}, err
+		}
 	}
 	// Drain: retry backoff means a quiet network can still owe deliveries.
 	for i := 0; !rel.Quiesced() && i < 1<<20; i++ {
 		if err := rel.Step(); err != nil {
+			return degResult{}, err
+		}
+		if err := batch(); err != nil {
 			return degResult{}, err
 		}
 	}
@@ -91,12 +111,12 @@ func runReliable(l core.Layout, plan *fault.Plan, flitRate float64, injectCycles
 
 // runSaturated measures accepted throughput on the degraded network at an
 // offered load past the fault-free saturation point of both designs.
-func runSaturated(l core.Layout, plan *fault.Plan, sc Scale) (traffic.RunResult, error) {
+func runSaturated(ctx context.Context, l core.Layout, plan *fault.Plan, sc Scale) (traffic.RunResult, error) {
 	net, err := faultNet(l, plan)
 	if err != nil {
 		return traffic.RunResult{}, err
 	}
-	return traffic.Run(net, traffic.RunConfig{
+	return traffic.RunCtx(ctx, net, traffic.RunConfig{
 		Pattern:        traffic.UniformRandom{N: l.Mesh.NumTerminals()},
 		Process:        traffic.Bernoulli{P: 0.09},
 		DataFlits:      l.DataPacketFlits(),
@@ -117,7 +137,7 @@ const degradationSeed = 900
 // The heterogeneous design's claim under test: the over-provisioned
 // diagonal keeps absorbing rerouted traffic, so it degrades more
 // gracefully than the homogeneous mesh as links die.
-func Degradation(sc Scale) (*Report, error) {
+func Degradation(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("degradation", "Graceful degradation under link failures (extension)")
 	layouts := []core.Layout{
 		core.NewBaseline(8, 8),
@@ -144,15 +164,15 @@ func Degradation(sc Scale) (*Report, error) {
 	}
 	// The grid of (k, layout) probes is independent; fan it out.
 	nl := len(layouts)
-	pts, err := par.Map((maxFailed+1)*nl, func(i int) (point, error) {
+	pts, err := par.MapCtx(ctx, (maxFailed+1)*nl, func(ctx context.Context, i int) (point, error) {
 		k, l := i/nl, layouts[i%nl]
-		rel, err := runReliable(l, plans[k][0], 0.2, injectCycles, 7)
+		rel, err := runReliable(ctx, l, plans[k][0], 0.2, injectCycles, 7)
 		if err != nil {
 			return point{}, err
 		}
 		var sat float64
 		for _, plan := range plans[k] {
-			res, err := runSaturated(l, plan, sc)
+			res, err := runSaturated(ctx, l, plan, sc)
 			if err != nil {
 				return point{}, err
 			}

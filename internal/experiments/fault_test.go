@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"heteronoc/internal/core"
@@ -15,7 +16,7 @@ func TestReliableDeliveryAcceptance(t *testing.T) {
 	l := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
 	run := func() degResult {
 		plan := degradationPlan(l, 4, degradationSeed+4*3)
-		res, err := runReliable(l, plan, 0.2, 2000, 7)
+		res, err := runReliable(context.Background(), l, plan, 0.2, 2000, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func TestDegradationRetentionCriterion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full degradation sweep")
 	}
-	r, err := Degradation(Quick())
+	r, err := Degradation(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -20,10 +21,10 @@ func TestNoGoroutineLeakAfterExperimentRun(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	sc := cacheTestScale("leaktest")
-	if _, err := Fig1(sc); err != nil {
+	if _, err := Fig1(context.Background(), sc); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Fig10(sc); err != nil {
+	if _, err := Fig10(context.Background(), sc); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"heteronoc/internal/core"
 	"heteronoc/internal/noc"
 	"heteronoc/internal/par"
@@ -17,13 +19,17 @@ import (
 // (fixed seed, fixed configuration), so completed results are memoized in
 // runcache under a key covering every input; repeated probes — across
 // figures or across re-invocations in one process — reuse the first run.
-func runNet(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
-	return runcache.For(netKey(l, pattern, rate, sc, selfSimilar), func() (traffic.RunResult, error) {
-		return runNetUncached(l, pattern, rate, sc, selfSimilar)
+// The same key names the probe for checkpoint-suspend: a probe suspended
+// by a server shutdown resumes under the identical key, and probes that
+// completed before the shutdown are amortized by the disk cache.
+func runNet(ctx context.Context, l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
+	key := netKey(l, pattern, rate, sc, selfSimilar)
+	return runcache.ForCtx(ctx, key, func(ctx context.Context) (traffic.RunResult, error) {
+		return runNetUncached(ctx, key, l, pattern, rate, sc, selfSimilar)
 	})
 }
 
-func runNetUncached(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
+func runNetUncached(ctx context.Context, key string, l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (traffic.RunResult, error) {
 	net, err := l.Network()
 	if err != nil {
 		return traffic.RunResult{}, err
@@ -34,7 +40,7 @@ func runNetUncached(l core.Layout, pattern traffic.Pattern, rate float64, sc Sca
 	} else {
 		proc = traffic.Bernoulli{P: rate}
 	}
-	return traffic.Run(net, traffic.RunConfig{
+	return traffic.RunCtx(ctx, net, traffic.RunConfig{
 		Pattern:        pattern,
 		Process:        proc,
 		DataFlits:      l.DataPacketFlits(),
@@ -42,16 +48,17 @@ func runNetUncached(l core.Layout, pattern traffic.Pattern, rate float64, sc Sca
 		MeasurePackets: sc.MeasurePackets,
 		Seed:           42,
 		MaxCycles:      int64(sc.MeasurePackets) * 40,
+		SuspendKey:     key,
 	})
 }
 
 // Fig1 reproduces the motivating heat maps: buffer and link utilization of
 // the homogeneous 8x8 mesh under uniform random traffic near saturation
 // (0.06 packets/node/cycle, footnote 1).
-func Fig1(sc Scale) (*Report, error) {
+func Fig1(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig1", "Buffer and link utilization heat maps")
 	l := core.NewBaseline(8, 8)
-	res, err := runNet(l, traffic.UniformRandom{N: 64}, 0.06, sc, false)
+	res, err := runNet(ctx, l, traffic.UniformRandom{N: 64}, 0.06, sc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +85,7 @@ func Fig1(sc Scale) (*Report, error) {
 // Fig2 shows the same non-uniformity on two other non-edge-symmetric
 // topologies: a 4x4 concentrated mesh (C=4) and a 64-node flattened
 // butterfly.
-func Fig2(sc Scale) (*Report, error) {
+func Fig2(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig2", "Buffer utilization in other topologies")
 	type tcase struct {
 		name string
@@ -104,7 +111,7 @@ func Fig2(sc Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := traffic.Run(net, traffic.RunConfig{
+		res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
 			Pattern:        traffic.UniformRandom{N: 64},
 			Process:        traffic.Bernoulli{P: c.rate},
 			DataFlits:      6,
@@ -198,8 +205,8 @@ type ratePoint struct {
 // measurePoint runs one (layout, rate) probe. Probes are independent (each
 // builds its own network and a fixed-seed traffic source), so the sweeps
 // fan them out on the par worker pool without changing any result.
-func measurePoint(l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (ratePoint, error) {
-	res, err := runNet(l, pattern, rate, sc, selfSimilar)
+func measurePoint(ctx context.Context, l core.Layout, pattern traffic.Pattern, rate float64, sc Scale, selfSimilar bool) (ratePoint, error) {
+	res, err := runNet(ctx, l, pattern, rate, sc, selfSimilar)
 	if err != nil {
 		return ratePoint{}, err
 	}
@@ -236,17 +243,17 @@ func summarizeSweep(l core.Layout, rates []float64, pts []ratePoint) netSummary 
 }
 
 // Fig7 sweeps uniform random traffic across the seven configurations.
-func Fig7(sc Scale) (*Report, error) {
-	return loadSweepReport(sc, "fig7", "UR load sweep", false)
+func Fig7(ctx context.Context, sc Scale) (*Report, error) {
+	return loadSweepReport(ctx, sc, "fig7", "UR load sweep", false)
 }
 
 // Fig9 repeats the sweep with nearest-neighbor traffic, where the paper
 // reports the one anomaly (hetero saturates earlier; Center beats Diagonal).
-func Fig9(sc Scale) (*Report, error) {
-	return loadSweepReport(sc, "fig9", "Nearest-neighbor sweep", true)
+func Fig9(ctx context.Context, sc Scale) (*Report, error) {
+	return loadSweepReport(ctx, sc, "fig9", "Nearest-neighbor sweep", true)
 }
 
-func loadSweepReport(sc Scale, id, title string, nn bool) (*Report, error) {
+func loadSweepReport(ctx context.Context, sc Scale, id, title string, nn bool) (*Report, error) {
 	r := newReport(id, title)
 	maxRate := 0.072
 	if nn {
@@ -258,13 +265,13 @@ func loadSweepReport(sc Scale, id, title string, nn bool) (*Report, error) {
 	// fanning the whole grid out (rather than layout by layout) keeps every
 	// worker busy even when one layout saturates and runs long.
 	nr := len(rates)
-	pts, err := par.Map(len(layouts)*nr, func(k int) (ratePoint, error) {
+	pts, err := par.MapCtx(ctx, len(layouts)*nr, func(ctx context.Context, k int) (ratePoint, error) {
 		l := layouts[k/nr]
 		var pattern traffic.Pattern = traffic.UniformRandom{N: 64}
 		if nn {
 			pattern = traffic.NearestNeighbor{Grid: l.Mesh}
 		}
-		return measurePoint(l, pattern, rates[k%nr], sc, false)
+		return measurePoint(ctx, l, pattern, rates[k%nr], sc, false)
 	})
 	if err != nil {
 		return nil, err
@@ -416,7 +423,7 @@ func keyName(name string) string {
 
 // Fig8 reports the latency and power breakdowns at a moderately high UR
 // load (Figure 8).
-func Fig8(sc Scale) (*Report, error) {
+func Fig8(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("fig8", "Latency and power breakdowns (UR)")
 	const rate = 0.048
 	layouts := []core.Layout{
@@ -427,8 +434,8 @@ func Fig8(sc Scale) (*Report, error) {
 	}
 	pm := power.NewModel()
 	// The four layout probes are independent; fan them out.
-	ress, err := par.Map(len(layouts), func(i int) (traffic.RunResult, error) {
-		return runNet(layouts[i], traffic.UniformRandom{N: 64}, rate, sc, false)
+	ress, err := par.MapCtx(ctx, len(layouts), func(ctx context.Context, i int) (traffic.RunResult, error) {
+		return runNet(ctx, layouts[i], traffic.UniformRandom{N: 64}, rate, sc, false)
 	})
 	if err != nil {
 		return nil, err

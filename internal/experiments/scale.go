@@ -14,6 +14,7 @@ package experiments
 // it exists to exercise the live engine, not to be remembered.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -43,14 +44,14 @@ func scaleMaxRate(w int) float64 { return 0.072 * 8 / float64(w) }
 // placement, and then audits the engine itself: a 32x32 run repeated on
 // the work-stealing sharded tick must reproduce the sequential run's
 // fingerprint bit for bit.
-func ScaleUp(sc Scale) (*Report, error) {
+func ScaleUp(ctx context.Context, sc Scale) (*Report, error) {
 	r := newReport("scale", "Scaling to 16x16 and 32x32 meshes")
 	for _, w := range scaleWidths {
-		if err := scaleSweep(r, w, sc); err != nil {
+		if err := scaleSweep(ctx, r, w, sc); err != nil {
 			return nil, err
 		}
 	}
-	if err := shardedCheck(r, sc); err != nil {
+	if err := shardedCheck(ctx, r, sc); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -58,7 +59,7 @@ func ScaleUp(sc Scale) (*Report, error) {
 
 // scaleSweep runs one mesh size's baseline-vs-diagonal load sweep and
 // appends its table, figure and metrics to the report.
-func scaleSweep(r *Report, w int, sc Scale) error {
+func scaleSweep(ctx context.Context, r *Report, w int, sc Scale) error {
 	layouts := []core.Layout{
 		core.NewBaseline(w, w),
 		core.NewLayout(core.PlacementDiagonal, w, w, true),
@@ -67,8 +68,8 @@ func scaleSweep(r *Report, w int, sc Scale) error {
 	nr := len(rates)
 	// The layouts x rates grid is a flat batch of independent probes, same
 	// fan-out as Fig 7; each probe is memoized in runcache under its own key.
-	pts, err := par.Map(len(layouts)*nr, func(k int) (ratePoint, error) {
-		return measurePoint(layouts[k/nr], traffic.UniformRandom{N: w * w}, rates[k%nr], sc, false)
+	pts, err := par.MapCtx(ctx, len(layouts)*nr, func(ctx context.Context, k int) (ratePoint, error) {
+		return measurePoint(ctx, layouts[k/nr], traffic.UniformRandom{N: w * w}, rates[k%nr], sc, false)
 	})
 	if err != nil {
 		return err
@@ -147,7 +148,7 @@ func scaleSweep(r *Report, w int, sc Scale) error {
 // routers, not merely close. Wall-clock speedup is reported in the body
 // only: it varies with the host (a single-core container reports ~1x) and
 // must not perturb the deterministic metric fingerprint.
-func shardedCheck(r *Report, sc Scale) error {
+func shardedCheck(ctx context.Context, r *Report, sc Scale) error {
 	const w = 32
 	rate := scaleMaxRate(w) / 2 // comfortably pre-knee
 	run := func(workers int) (uint64, time.Duration, error) {
@@ -160,7 +161,7 @@ func shardedCheck(r *Report, sc Scale) error {
 			net.SetShardWorkers(workers)
 		}
 		start := time.Now()
-		_, err = traffic.Run(net, traffic.RunConfig{
+		_, err = traffic.RunCtx(ctx, net, traffic.RunConfig{
 			Pattern:        traffic.UniformRandom{N: w * w},
 			Process:        traffic.Bernoulli{P: rate},
 			DataFlits:      core.NewBaseline(w, w).DataPacketFlits(),

@@ -17,6 +17,7 @@ package experiments
 // figure output cannot depend on this toggle.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -59,7 +60,7 @@ func warmKey(bench string, n, entries, lineBytes int, prefetch bool) string {
 // warmSystem brings the freshly built s to its post-warmup state, via a
 // shared checkpoint when sharing is enabled and applicable. Equivalent to
 // s.Warmup(sc.CMPWarmupEntries) bit for bit.
-func warmSystem(s *cmp.System, l core.Layout, bench string, sc Scale) {
+func warmSystem(ctx context.Context, s *cmp.System, l core.Layout, bench string, sc Scale) {
 	entries := sc.CMPWarmupEntries
 	if !warmupSharing.Load() || !runcache.Enabled() || entries <= 0 {
 		s.Warmup(entries)
@@ -67,7 +68,7 @@ func warmSystem(s *cmp.System, l core.Layout, bench string, sc Scale) {
 	}
 	n := l.Mesh.NumTerminals()
 	key := warmKey(bench, n, entries, s.LineBytes(), s.PrefetchEnabled())
-	snap, err := runcache.For(key, func() ([]byte, error) {
+	snap, err := runcache.ForCtx(ctx, key, func(context.Context) ([]byte, error) {
 		t, err := warmTemplate(l, bench, s.PrefetchEnabled())
 		if err != nil {
 			return nil, err

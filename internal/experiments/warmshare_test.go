@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"heteronoc/internal/runcache"
@@ -25,7 +26,7 @@ func TestFigureOutputIdenticalWithWarmupSharing(t *testing.T) {
 		runcache.Reset()
 	}()
 
-	shared, err := Fig10(sc)
+	shared, err := Fig10(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestFigureOutputIdenticalWithWarmupSharing(t *testing.T) {
 
 	runcache.Reset()
 	SetWarmupSharing(false)
-	direct, err := Fig10(sc)
+	direct, err := Fig10(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFigureOutputIdenticalAcrossDiskTier(t *testing.T) {
 		runcache.Reset()
 	}()
 
-	cold, err := Fig1(sc)
+	cold, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFigureOutputIdenticalAcrossDiskTier(t *testing.T) {
 	// Drop the memory tier: the regeneration must be fed from disk.
 	runcache.Reset()
 	runcache.ResetDiskStats()
-	warm, err := Fig1(sc)
+	warm, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFigureOutputIdenticalAcrossDiskTier(t *testing.T) {
 	runcache.SetEnabled(false)
 	runcache.Reset()
 	runcache.ResetDiskStats()
-	off, err := Fig1(sc)
+	off, err := Fig1(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestWarmCheckpointPersistsAcrossProcessBoundary(t *testing.T) {
 		runcache.Reset()
 	}()
 
-	first, err := runApp(appLayouts()[0], "SPECjbb", sc, nil, nil, nil)
+	first, err := runApp(context.Background(), appLayouts()[0], "SPECjbb", sc, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestWarmCheckpointPersistsAcrossProcessBoundary(t *testing.T) {
 	resetWarmShareStats()
 	// A different layout of the same benchmark: the app-level key misses,
 	// but the warm checkpoint comes from disk.
-	second, err := runApp(appLayouts()[5], "SPECjbb", sc, nil, nil, nil)
+	second, err := runApp(context.Background(), appLayouts()[5], "SPECjbb", sc, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,7 +68,17 @@ func StartServer(addr string, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	// Bounded I/O so a slow or hostile client cannot pin a connection:
+	// header/read/write/idle timeouts all have ceilings. The write
+	// timeout is sized for the biggest payload served here (a pprof
+	// profile capture, default 30s of sampling).
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
 	go s.srv.Serve(ln)
 	if cfg.Progress != nil {
 		go s.watch()

@@ -9,10 +9,13 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"heteronoc/internal/suspend"
 )
 
 // PanicError reports a job that panicked instead of returning. Map recovers
@@ -36,6 +39,19 @@ func (e *PanicError) Error() string {
 // A job that panics is reported the same way, as a *PanicError carrying the
 // failing index and the panic value.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done (or the
+// context's suspend controller requests a checkpoint-suspend), no further
+// indices are dispatched; jobs already running finish on their own —
+// each is expected to observe the same ctx at its next cycle batch. The
+// error rule extends the sequential model: an index the loop never
+// reached fails with ctx.Err() (or suspend.ErrSuspended), so the reported
+// error is still the one the equivalent sequential loop would hit first.
+func MapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -52,15 +68,30 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = runJob(i, fn)
+				results[i], errs[i] = runJob(ctx, i, fn)
 			}
 		}()
 	}
+	sus := suspend.FromContext(ctx)
+	dispatched := n
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil || sus.Requested() {
+			dispatched = i
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	// Undispatched indices fail the way the sequential loop would have:
+	// with the cancellation (or suspension) that stopped the dispatch.
+	for i := dispatched; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+		} else {
+			errs[i] = suspend.ErrSuspended
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -71,13 +102,13 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 
 // runJob invokes one job with panic recovery; a panic becomes a *PanicError
 // so the error-ordering rule (lowest failing index wins) covers panics too.
-func runJob[T any](i int, fn func(i int) (T, error)) (result T, err error) {
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (result T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Index: i, Value: v}
 		}
 	}()
-	return fn(i)
+	return fn(ctx, i)
 }
 
 // Pool is a persistent set of worker goroutines for per-cycle sharding.

@@ -1,0 +1,94 @@
+// Package reqstat carries per-request accounting through a context.
+// The run server handles many tenants' requests concurrently over one
+// process-global run cache, so the global hit/miss counters cannot tell an
+// individual request "you were served warm" — concurrent requests
+// interleave their deltas. Instead the service layer attaches a Collector
+// to each request's context; the layers below (runcache lookups, the
+// traffic and CMP step loops) charge whatever context they were handed.
+// A request whose Collector shows zero executions and zero simulated
+// cycles was answered entirely from cache.
+//
+// The package also maintains process-global progress counters (total
+// simulated cycles and batch checkpoints) that serve as the liveness
+// signal for stall watchdogs: a wedged or chaos-stalled run stops the
+// counter, and /healthz notices.
+package reqstat
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Collector accumulates one request's charges. All fields are safe for
+// concurrent use: a single request fans out across the par worker pool.
+type Collector struct {
+	// CacheHits / CacheMisses count runcache lookups charged to this
+	// request. A hit includes joining a concurrent caller's in-flight
+	// execution (singleflight).
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Executions counts cache misses that actually ran a recipe under
+	// this request (as opposed to being answered by the disk tier).
+	Executions atomic.Int64
+	// Cycles counts simulated cycles (network + CMP) charged to this
+	// request.
+	Cycles atomic.Int64
+}
+
+type ctxKey struct{}
+
+// WithCollector attaches c to the context.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the request's Collector, or nil when none is
+// attached (library callers outside the serve path).
+func FromContext(ctx context.Context) *Collector {
+	c, _ := ctx.Value(ctxKey{}).(*Collector)
+	return c
+}
+
+// Process-global progress counters (see package comment).
+var (
+	globalCycles  atomic.Int64
+	globalBatches atomic.Int64
+)
+
+// AddCycles charges n simulated cycles to the request's collector (if
+// any) and to the global progress counter.
+func AddCycles(ctx context.Context, n int64) {
+	globalCycles.Add(n)
+	globalBatches.Add(1)
+	if c := FromContext(ctx); c != nil {
+		c.Cycles.Add(n)
+	}
+}
+
+// Hit charges one cache hit.
+func Hit(ctx context.Context) {
+	if c := FromContext(ctx); c != nil {
+		c.CacheHits.Add(1)
+	}
+}
+
+// Miss charges one cache miss (the request executed a lookup that found
+// no memoized result; the disk tier may still answer it).
+func Miss(ctx context.Context) {
+	if c := FromContext(ctx); c != nil {
+		c.CacheMisses.Add(1)
+	}
+}
+
+// Exec charges one recipe execution: a miss that no tier could answer,
+// so real simulation work ran under this request.
+func Exec(ctx context.Context) {
+	if c := FromContext(ctx); c != nil {
+		c.Executions.Add(1)
+	}
+}
+
+// GlobalProgress returns a monotonically non-decreasing counter that
+// advances whenever any run in the process makes forward progress — the
+// stall-watchdog signal for the run server.
+func GlobalProgress() int64 { return globalCycles.Load() + globalBatches.Load() }

@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"heteronoc/internal/chaos"
 )
 
 const (
@@ -57,7 +59,16 @@ var (
 	diskHits      atomic.Int64
 	diskMisses    atomic.Int64
 	diskEvictions atomic.Int64
+
+	// diskChaos optionally injects faults into the tier's I/O paths
+	// (slow reads/writes, corrupted payloads). The tier's contract makes
+	// every injected fault a graceful miss, which is exactly what the
+	// chaos suite asserts. Holds a *chaos.Chaos; nil when disarmed.
+	diskChaos atomic.Pointer[chaos.Chaos]
 )
+
+// SetChaos arms (or, with nil, disarms) fault injection on the disk tier.
+func SetChaos(c *chaos.Chaos) { diskChaos.Store(c) }
 
 // SetDir configures the disk tier's directory, creating it if needed.
 // An empty dir disables the tier.
@@ -121,6 +132,10 @@ func diskLoad[T any](key string) (T, bool) {
 		diskMisses.Add(1)
 		return zero, false
 	}
+	if c := diskChaos.Load(); c != nil {
+		c.Hit(chaos.PointDiskLoad)
+		data = c.Mangle(chaos.PointDiskCorrupt, data)
+	}
 	head := len(diskMagic) + 4
 	if len(data) < head || string(data[:len(diskMagic)]) != diskMagic {
 		diskMisses.Add(1)
@@ -149,6 +164,9 @@ func diskStore[T any](key string, v T) {
 	dir := Dir()
 	if dir == "" || !enabled.Load() {
 		return
+	}
+	if c := diskChaos.Load(); c != nil {
+		c.Hit(chaos.PointDiskStore)
 	}
 	var buf bytes.Buffer
 	buf.WriteString(diskMagic)

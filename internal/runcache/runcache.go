@@ -24,6 +24,13 @@
 // slices or maps; callers must treat results as immutable, which every
 // experiment already does.
 //
+// Cancellation does not poison the cache. DoCtx runs the recipe under the
+// first caller's context; if that caller is cancelled, deadlined or
+// checkpoint-suspended, the failed entry is dropped rather than memoized,
+// a waiter whose own context is still live retries as the new executor,
+// and a waiter whose context has died stops waiting immediately instead
+// of blocking on an execution it no longer wants.
+//
 // Disable with SetEnabled(false) (the -nocache flag of cmd/experiments):
 // every Do then runs its function directly and the disk tier is bypassed
 // in both directions. Because runs are
@@ -32,14 +39,19 @@
 package runcache
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+
+	"heteronoc/internal/reqstat"
+	"heteronoc/internal/suspend"
 )
 
-// entry is one memoized run. once guards the single execution; val/err
-// hold the outcome for later hitters.
+// entry is one memoized run. The creating goroutine executes the recipe
+// and closes done; waiters select on done against their own context.
 type entry struct {
-	once sync.Once
+	done chan struct{}
 	val  any
 	err  error
 }
@@ -79,37 +91,86 @@ func Stats() (hit, miss int64) { return hits.Load(), misses.Load() }
 // Do returns the memoized result for key, running fn exactly once per key
 // across all goroutines. With the cache disabled it runs fn directly.
 func Do(key string, fn func() (any, error)) (any, error) {
+	return DoCtx(context.Background(), key, func(context.Context) (any, error) { return fn() })
+}
+
+// transient reports whether err is an outcome of this caller being
+// stopped (cancelled, deadlined or suspended) rather than of the recipe
+// itself — outcomes that must not be memoized, because a later caller
+// with a live context would succeed.
+func transient(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, suspend.ErrSuspended)
+}
+
+// DoCtx is Do with a context. The recipe runs under the first caller's
+// context; see the package comment for the cancellation contract.
+func DoCtx(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, error) {
 	if !enabled.Load() {
 		misses.Add(1)
-		return fn()
+		reqstat.Miss(ctx)
+		return fn(ctx)
 	}
-	mu.Lock()
-	e, ok := entries[key]
-	if !ok {
-		e = &entry{}
-		entries[key] = e
-	}
-	mu.Unlock()
-	if ok {
+	for {
+		mu.Lock()
+		e, ok := entries[key]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			entries[key] = e
+		}
+		mu.Unlock()
+		if !ok {
+			// This caller executes. A transient failure is un-memoized so
+			// the key stays retryable; the entry is removed only if it is
+			// still the one this execution owned.
+			misses.Add(1)
+			reqstat.Miss(ctx)
+			e.val, e.err = fn(ctx)
+			if e.err != nil && transient(e.err) {
+				mu.Lock()
+				if entries[key] == e {
+					delete(entries, key)
+				}
+				mu.Unlock()
+			}
+			close(e.done)
+			return e.val, e.err
+		}
 		hits.Add(1)
-	} else {
-		misses.Add(1)
+		reqstat.Hit(ctx)
+		select {
+		case <-e.done:
+			if e.err != nil && transient(e.err) && ctx.Err() == nil {
+				// The executor was stopped but this caller was not:
+				// take over as the new executor.
+				continue
+			}
+			return e.val, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	e.once.Do(func() { e.val, e.err = fn() })
-	return e.val, e.err
 }
 
 // For runs fn through the cache with a typed result. When a disk tier is
 // configured (SetDir), a memory miss consults the disk before running fn,
 // and a freshly computed result is written back. Both happen inside the
-// entry's once-body, so singleflight spans the tiers: one disk read and at
-// most one execution per key, no matter how many goroutines race.
+// executing caller's critical section, so singleflight spans the tiers:
+// one disk read and at most one execution per key, no matter how many
+// goroutines race.
 func For[T any](key string, fn func() (T, error)) (T, error) {
-	v, err := Do(key, func() (any, error) {
+	return ForCtx(context.Background(), key, func(context.Context) (T, error) { return fn() })
+}
+
+// ForCtx is For with a context (see DoCtx for the cancellation contract).
+func ForCtx[T any](ctx context.Context, key string, fn func(ctx context.Context) (T, error)) (T, error) {
+	v, err := DoCtx(ctx, key, func(ctx context.Context) (any, error) {
 		if v, ok := diskLoad[T](key); ok {
 			return v, nil
 		}
-		v, err := fn()
+		reqstat.Exec(ctx)
+		v, err := fn(ctx)
 		if err == nil {
 			diskStore(key, v)
 		}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is the Go client for a nocserved instance. It retries the
+// retryable outcomes — shed (429), draining/suspended (503), worker
+// panics (500 "panic") and transport errors — with capped exponential
+// backoff and full jitter, honoring Retry-After when the server sends
+// one. Non-retryable outcomes (bad request, unknown experiment, timeout
+// of the run itself) surface immediately.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts caps tries per Run (default 6).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep (default 5s).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests (0 = fixed default).
+	Seed int64
+
+	// Retries counts retried attempts across all Run calls (for SLO
+	// reports).
+	Retries atomic.Int64
+
+	fillOnce sync.Once
+	rngMu    sync.Mutex
+	rng      *rand.Rand
+}
+
+// APIError is a non-200 response that Run gave up on.
+type APIError struct {
+	Code    int
+	Payload ErrorPayload
+}
+
+func (e *APIError) Error() string {
+	if e.Payload.Detail != "" {
+		return fmt.Sprintf("serve: %d %s: %s", e.Code, e.Payload.Error, e.Payload.Detail)
+	}
+	return fmt.Sprintf("serve: %d %s", e.Code, e.Payload.Error)
+}
+
+// fill applies defaults exactly once; Run is called concurrently by the
+// load generator's workers, so the writes must not repeat per call.
+func (c *Client) fill() {
+	c.fillOnce.Do(func() {
+		if c.HTTP == nil {
+			c.HTTP = http.DefaultClient
+		}
+		if c.MaxAttempts <= 0 {
+			c.MaxAttempts = 6
+		}
+		if c.BaseDelay <= 0 {
+			c.BaseDelay = 100 * time.Millisecond
+		}
+		if c.MaxDelay <= 0 {
+			c.MaxDelay = 5 * time.Second
+		}
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+// Run posts req and returns the response, retrying retryable refusals.
+func (c *Client) Run(ctx context.Context, req Request) (*Response, error) {
+	c.fill()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Retries.Add(1)
+			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.once(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("serve: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+}
+
+// once performs a single POST /run round trip.
+func (c *Client) once(ctx context.Context, body []byte) (*Response, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := c.HTTP.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode == http.StatusOK {
+		var out Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			return nil, fmt.Errorf("serve: bad response body: %w", err)
+		}
+		return &out, nil
+	}
+	var p ErrorPayload
+	_ = json.Unmarshal(data, &p) // tolerate non-JSON error bodies
+	apiErr := &APIError{Code: res.StatusCode, Payload: p}
+	if ra := res.Header.Get("Retry-After"); ra != "" && p.RetryAfterSec == 0 {
+		if sec, err := strconv.Atoi(ra); err == nil {
+			apiErr.Payload.RetryAfterSec = float64(sec)
+		}
+	}
+	return nil, apiErr
+}
+
+// retryable classifies an error as worth another attempt.
+func retryable(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		switch api.Code {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return true
+		case http.StatusInternalServerError:
+			// Worker panics are transient (the crashed run left no bad
+			// state behind); other 500s are real failures.
+			return api.Payload.Error == "panic"
+		}
+		return false
+	}
+	// Transport-level failures (connection refused during a restart,
+	// reset mid-response) are retryable; context expiry is not.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoff computes the sleep before attempt n (1-based for the first
+// retry): server Retry-After when present, else capped exponential with
+// full jitter.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	var api *APIError
+	if errors.As(lastErr, &api) && api.Payload.RetryAfterSec > 0 {
+		return time.Duration(api.Payload.RetryAfterSec * float64(time.Second))
+	}
+	d := c.BaseDelay << (attempt - 1)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	c.rngMu.Lock()
+	jittered := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.rngMu.Unlock()
+	return jittered
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

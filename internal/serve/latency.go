@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencyTracker keeps a sliding window of request latencies (ms) for the
+// serve_latency_p50_ms / p99_ms gauges. A fixed ring bounds memory; the
+// percentiles describe the most recent cap requests.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring []float64
+	next int
+	n    int
+}
+
+func newLatencyTracker(cap int) *latencyTracker {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &latencyTracker{ring: make([]float64, cap)}
+}
+
+func (t *latencyTracker) record(ms float64) {
+	t.mu.Lock()
+	t.ring[t.next] = ms
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (0-100) of the window, 0 when
+// empty.
+func (t *latencyTracker) percentile(p float64) float64 {
+	t.mu.Lock()
+	vals := make([]float64, t.n)
+	if t.n == len(t.ring) {
+		copy(vals, t.ring)
+	} else {
+		copy(vals, t.ring[:t.n])
+	}
+	t.mu.Unlock()
+	return percentile(vals, p)
+}
+
+// percentile sorts vals in place and reads the nearest-rank p-th
+// percentile (0 when empty).
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	i := int(p / 100 * float64(len(vals)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(vals) {
+		i = len(vals) - 1
+	}
+	return vals[i]
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives one load-generation session against a running
+// server (cmd/nocload wraps it in a CLI).
+type LoadConfig struct {
+	// Client issues the requests (retry/backoff included in the measured
+	// latency, as a real caller would experience it).
+	Client *Client
+	// Experiments cycles per request (default ["fig1"]).
+	Experiments []string
+	// Scale names the preset sent with every request (default "quick").
+	Scale string
+	// Tenants cycles per request so the server's fair scheduler is
+	// exercised (default ["default"]).
+	Tenants []string
+	// Requests is the total request count (default 16).
+	Requests int
+	// Concurrency is the number of in-flight requests (default 4).
+	Concurrency int
+	// TimeoutSec is forwarded in each request (0 = server default).
+	TimeoutSec float64
+}
+
+// SLOReport summarizes a load run.
+type SLOReport struct {
+	Requests   int
+	Succeeded  int
+	Failed     int
+	Retries    int64
+	Elapsed    time.Duration
+	Throughput float64 // successful requests per second
+
+	P50MS, P95MS, P99MS float64
+
+	// WarmHits counts responses served with zero simulation work;
+	// HitRatio is their fraction of successes.
+	WarmHits int
+	HitRatio float64
+
+	// Errors histograms terminal failures by message.
+	Errors map[string]int
+}
+
+// RunLoad fires cfg.Requests requests with cfg.Concurrency workers and
+// aggregates an SLO report. Individual request failures are recorded, not
+// fatal; the returned error is reserved for setup problems.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*SLOReport, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("serve: LoadConfig.Client is required")
+	}
+	if len(cfg.Experiments) == 0 {
+		cfg.Experiments = []string{"fig1"}
+	}
+	if cfg.Scale == "" {
+		cfg.Scale = "quick"
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = []string{"default"}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 16
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+
+	retries0 := cfg.Client.Retries.Load()
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rep       = &SLOReport{Requests: cfg.Requests, Errors: map[string]int{}}
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				req := Request{
+					Experiment: cfg.Experiments[i%len(cfg.Experiments)],
+					Scale:      cfg.Scale,
+					Tenant:     cfg.Tenants[i%len(cfg.Tenants)],
+					TimeoutSec: cfg.TimeoutSec,
+				}
+				t0 := time.Now()
+				resp, err := cfg.Client.Run(ctx, req)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					rep.Failed++
+					rep.Errors[errKey(err)]++
+				} else {
+					rep.Succeeded++
+					latencies = append(latencies, ms)
+					if resp.FromCache {
+						rep.WarmHits++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			i = cfg.Requests // stop feeding; drain workers
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	rep.Retries = cfg.Client.Retries.Load() - retries0
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Succeeded) / rep.Elapsed.Seconds()
+	}
+	rep.P50MS = percentile(append([]float64(nil), latencies...), 50)
+	rep.P95MS = percentile(append([]float64(nil), latencies...), 95)
+	rep.P99MS = percentile(latencies, 99)
+	if rep.Succeeded > 0 {
+		rep.HitRatio = float64(rep.WarmHits) / float64(rep.Succeeded)
+	}
+	return rep, nil
+}
+
+// errKey compresses an error into a stable histogram bucket.
+func errKey(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		// "serve: 429 tenant_queue_full" style prefixes bucket well.
+		if len(s) > 60 {
+			s = s[:60]
+		}
+	}
+	return s
+}
+
+// String renders the report for terminals.
+func (r *SLOReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests:   %d (%d ok, %d failed, %d retries)\n",
+		r.Requests, r.Succeeded, r.Failed, r.Retries)
+	fmt.Fprintf(&b, "elapsed:    %.2fs (%.1f req/s)\n", r.Elapsed.Seconds(), r.Throughput)
+	fmt.Fprintf(&b, "latency:    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", r.P50MS, r.P95MS, r.P99MS)
+	fmt.Fprintf(&b, "warm hits:  %d (%.0f%% of successes)\n", r.WarmHits, 100*r.HitRatio)
+	if len(r.Errors) > 0 {
+		keys := make([]string, 0, len(r.Errors))
+		for k := range r.Errors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("errors:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %4d  %s\n", r.Errors[k], k)
+		}
+	}
+	return b.String()
+}
+
+// Metrics returns the report's headline numbers keyed for bench.sh
+// (serve_p50_ms, serve_p99_ms, serve_hit_ratio, ...).
+func (r *SLOReport) Metrics() map[string]float64 {
+	return map[string]float64{
+		"serve_p50_ms":     r.P50MS,
+		"serve_p95_ms":     r.P95MS,
+		"serve_p99_ms":     r.P99MS,
+		"serve_hit_ratio":  r.HitRatio,
+		"serve_throughput": r.Throughput,
+		"serve_failed":     float64(r.Failed),
+		"serve_retries":    float64(r.Retries),
+	}
+}

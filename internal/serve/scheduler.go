@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission-control errors, translated by the HTTP layer into 429 (shed)
+// or 503 (draining) with a Retry-After hint.
+var (
+	// ErrTenantQueueFull means this tenant already has its fair share of
+	// queued work; admitting more would let one tenant starve the rest.
+	ErrTenantQueueFull = errors.New("serve: tenant queue full")
+	// ErrOverloaded means the global queue cap is reached regardless of
+	// tenant; the server is shedding load.
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrDraining means the server is shutting down and admits nothing.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// scheduler is the bounded, tenant-fair job queue between the HTTP
+// handlers and the worker pool. Each tenant owns a FIFO of at most
+// perTenant jobs; workers consume tenants round-robin, one job per visit,
+// so a tenant that floods its queue still gets only a 1/N share of worker
+// time while N tenants have work pending. A global cap bounds total queued
+// memory independent of the tenant count.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	perTenant int
+	global    int
+
+	queues map[string][]*job
+	// order lists tenants with non-empty queues in arrival order; next is
+	// the round-robin cursor into it.
+	order  []string
+	next   int
+	queued int
+	closed bool
+}
+
+func newScheduler(perTenant, global int) *scheduler {
+	s := &scheduler{
+		perTenant: perTenant,
+		global:    global,
+		queues:    map[string][]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue admits j or returns an admission error without blocking: the
+// caller must translate a refusal into backpressure (429/503), never wait.
+func (s *scheduler) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if s.queued >= s.global {
+		return ErrOverloaded
+	}
+	q := s.queues[j.tenant]
+	if len(q) >= s.perTenant {
+		return ErrTenantQueueFull
+	}
+	if len(q) == 0 {
+		s.order = append(s.order, j.tenant)
+	}
+	s.queues[j.tenant] = append(q, j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// dequeue blocks until a job is available, returning (nil, false) once the
+// scheduler is closed and drained. Already-queued jobs are still handed
+// out after close so a graceful shutdown finishes admitted work.
+func (s *scheduler) dequeue() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			if s.next >= len(s.order) {
+				s.next = 0
+			}
+			t := s.order[s.next]
+			q := s.queues[t]
+			j := q[0]
+			if len(q) == 1 {
+				delete(s.queues, t)
+				s.order = append(s.order[:s.next], s.order[s.next+1:]...)
+				// next now points at the following tenant already.
+			} else {
+				s.queues[t] = q[1:]
+				s.next++
+			}
+			s.queued--
+			return j, true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// close stops admission and wakes all waiting workers; queued jobs drain.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// depth returns the number of queued (not yet dispatched) jobs.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

@@ -1,0 +1,603 @@
+// Package serve is the hardened simulation-as-a-service core behind
+// cmd/nocserved: a multi-tenant run server that turns experiment requests
+// (JSON: experiment id, scale, tenant) into figure/report artifacts.
+//
+// Hardening properties (each pinned by an acceptance test):
+//
+//   - Cancellation: every request's context reaches the innermost step
+//     loops, which observe it at cycle-batch granularity; a disconnected
+//     client or expired timeout stops simulation within one batch.
+//   - Admission control: bounded per-tenant queues with round-robin fair
+//     dispatch and a global cap; refusals are immediate 429/503 responses
+//     with Retry-After, never unbounded queue growth.
+//   - Isolation: a panicking run (including injected chaos panics) is
+//     recovered in its worker, answered as a structured 500, and counted;
+//     the server and every other tenant's requests keep going.
+//   - Graceful shutdown: draining first waits for short runs, then flips
+//     the suspend controller so long runs checkpoint themselves as
+//     NOCCKPT01 containers, and only then hard-cancels stragglers. A
+//     restarted server resumes suspended runs to byte-identical artifacts.
+//
+// The package is HTTP-handler-centric (Server.Handler) so tests can mount
+// it on httptest servers; cmd/nocserved adds the listener, OS signals and
+// hardened http.Server timeouts.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteronoc/internal/chaos"
+	"heteronoc/internal/experiments"
+	"heteronoc/internal/obs"
+	"heteronoc/internal/reqstat"
+	"heteronoc/internal/suspend"
+)
+
+// Request is the POST /run payload.
+type Request struct {
+	// Experiment is the experiment id (fig1..fig14, table1, dse, or an
+	// extension id).
+	Experiment string `json:"experiment"`
+	// Scale names a simulation scale preset ("quick" or "full" by
+	// default; servers may register more).
+	Scale string `json:"scale"`
+	// Tenant identifies the caller for fair scheduling; empty means
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutSec caps the run's wall time (0 = server default).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// CacheStats is the per-request cache accounting attached to a response.
+type CacheStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Executions int64 `json:"executions"`
+	Cycles     int64 `json:"cycles"`
+}
+
+// Response is the POST /run success payload.
+type Response struct {
+	Experiment  string             `json:"experiment"`
+	Scale       string             `json:"scale"`
+	Title       string             `json:"title"`
+	Markdown    string             `json:"markdown"`
+	Metrics     map[string]float64 `json:"metrics"`
+	Fingerprint string             `json:"fingerprint"`
+	Cache       CacheStats         `json:"cache"`
+	ElapsedMS   float64            `json:"elapsed_ms"`
+	// FromCache is true when the request ran zero simulation cycles and
+	// zero recipe executions — answered entirely from memoized results.
+	FromCache bool `json:"from_cache"`
+}
+
+// ErrorPayload is the JSON body of every non-200 response.
+type ErrorPayload struct {
+	Error         string  `json:"error"`
+	Detail        string  `json:"detail,omitempty"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// PanicError reports a run that panicked inside its worker. It is the
+// structured remnant of the crash: the server survives, the request gets
+// a 500 naming the panic.
+type PanicError struct {
+	Value string
+}
+
+func (e *PanicError) Error() string { return "serve: run panicked: " + e.Value }
+
+// Config sizes and wires a Server. The zero value is usable: every field
+// has a default.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueuePerTenant bounds each tenant's queue (default 4).
+	QueuePerTenant int
+	// MaxQueued bounds the total queue across tenants (default 8*Workers).
+	MaxQueued int
+	// DefaultTimeout caps a run when the request does not (0 = no cap).
+	DefaultTimeout time.Duration
+	// DrainGrace is how long Shutdown waits for in-flight runs to finish
+	// before requesting suspension (default 2s).
+	DrainGrace time.Duration
+	// SuspendGrace is how long Shutdown then waits for runs to checkpoint
+	// before hard-cancelling (default 10s).
+	SuspendGrace time.Duration
+	// SuspendDir stores NOCCKPT01 run checkpoints; "" disables
+	// checkpoint-suspend (shutdown then cancels long runs outright).
+	SuspendDir string
+	// Chaos optionally arms fault injection (see internal/chaos). Nil is
+	// inert.
+	Chaos *chaos.Chaos
+	// Scales maps request scale names to presets. Defaults to
+	// {"quick": experiments.Quick(), "full": experiments.Full()};
+	// supplying any map replaces the default entirely.
+	Scales map[string]experiments.Scale
+	// StallAfter is the /healthz watchdog threshold: busy workers with no
+	// global simulation progress for this long report stalled
+	// (default 10s).
+	StallAfter time.Duration
+	// RetryAfter is the hint returned with 429/503 (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueuePerTenant <= 0 {
+		c.QueuePerTenant = 4
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 8 * c.Workers
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	if c.SuspendGrace <= 0 {
+		c.SuspendGrace = 10 * time.Second
+	}
+	if c.Scales == nil {
+		c.Scales = map[string]experiments.Scale{
+			"quick": experiments.Quick(),
+			"full":  experiments.Full(),
+		}
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// job is one admitted request moving through the queue to a worker.
+type job struct {
+	tenant string
+	req    Request
+	runner experiments.Runner
+	scale  experiments.Scale
+	ctx    context.Context
+	cancel context.CancelFunc
+	col    *reqstat.Collector
+	// done is buffered so a worker's send never blocks on a vanished
+	// client.
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *Response
+	err  error
+}
+
+// Server is the service core. Create with New, mount Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	sched *scheduler
+	sus   *suspend.Controller
+	reg   *obs.Registry
+	mux   *http.ServeMux
+
+	workers  sync.WaitGroup
+	draining atomic.Bool
+
+	// jobs tracks in-flight (dispatched) jobs for the hard-cancel phase.
+	jobsMu sync.Mutex
+	jobs   map[*job]struct{}
+
+	busy atomic.Int64
+
+	// Watchdog state for /healthz (same scheme as obs.Server, but keyed
+	// on reqstat.GlobalProgress and gated on busy workers).
+	watchMu    sync.Mutex
+	lastProg   int64
+	lastChange time.Time
+
+	lat *latencyTracker
+
+	mRequests  map[int]*obs.Counter
+	mPanics    *obs.Counter
+	mShed      *obs.Counter
+	mSuspended *obs.Counter
+	mResumed   *obs.Counter
+	mHits      *obs.Counter
+	mWarm      *obs.Counter
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		sched: newScheduler(cfg.QueuePerTenant, cfg.MaxQueued),
+		sus:   suspend.NewController(cfg.SuspendDir),
+		reg:   obs.NewRegistry(),
+		jobs:  map[*job]struct{}{},
+		lat:   newLatencyTracker(1024),
+	}
+	s.lastChange = time.Now()
+
+	s.mRequests = map[int]*obs.Counter{}
+	for _, code := range []int{
+		http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusMethodNotAllowed, http.StatusRequestTimeout,
+		http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable,
+	} {
+		s.mRequests[code] = s.reg.NewCounter("serve_requests_total",
+			"run requests by response code", obs.L("code", fmt.Sprint(code)))
+	}
+	s.mPanics = s.reg.NewCounter("serve_panics_total", "runs that panicked in a worker (recovered)")
+	s.mShed = s.reg.NewCounter("serve_shed_total", "requests refused by admission control")
+	s.mSuspended = s.reg.NewCounter("serve_suspended_total", "runs suspended to checkpoint at shutdown")
+	s.mResumed = s.reg.NewCounter("serve_resumed_total", "runs resumed from a checkpoint")
+	s.mHits = s.reg.NewCounter("serve_cache_hits_total", "runcache hits charged to requests")
+	s.mWarm = s.reg.NewCounter("serve_warm_requests_total", "requests answered with zero simulation work")
+	s.reg.RegisterGauge("serve_queue_depth", "queued (undispatched) jobs", nil,
+		func() float64 { return float64(s.sched.depth()) })
+	s.reg.RegisterGauge("serve_busy_workers", "workers currently running a job", nil,
+		func() float64 { return float64(s.busy.Load()) })
+	s.reg.RegisterGauge("serve_latency_p50_ms", "median /run latency (sliding window)", nil,
+		func() float64 { return s.lat.percentile(50) })
+	s.reg.RegisterGauge("serve_latency_p99_ms", "p99 /run latency (sliding window)", nil,
+		func() float64 { return s.lat.percentile(99) })
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// PendingCheckpoints counts suspended runs waiting under the configured
+// suspend directory (what cmd/nocserved logs at startup).
+func (s *Server) PendingCheckpoints() int { return suspend.Pending(s.cfg.SuspendDir) }
+
+// Handler returns the HTTP surface: POST /run, GET /metrics, /healthz,
+// /statusz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry (for composition with a
+// process-wide exposition).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SuspendController exposes the shutdown suspend controller (tests flip
+// and inspect it).
+func (s *Server) SuspendController() *suspend.Controller { return s.sus }
+
+// worker pulls jobs until the scheduler closes and drains.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		j, ok := s.sched.dequeue()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation: a crash inside the
+// experiment (or an injected chaos panic) becomes a structured error on
+// j.done, never a dead server.
+func (s *Server) runJob(j *job) {
+	s.busy.Add(1)
+	defer func() {
+		s.trackJob(j, false)
+		s.busy.Add(-1)
+		if p := recover(); p != nil {
+			s.mPanics.Inc()
+			j.done <- jobResult{err: &PanicError{Value: fmt.Sprint(p)}}
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		// The client vanished while the job sat queued; don't burn a
+		// worker on it.
+		j.done <- jobResult{err: err}
+		return
+	}
+	s.cfg.Chaos.Hit(chaos.PointWorkerPanic)
+	_, resumes0 := s.sus.Stats()
+	start := time.Now()
+	rep, err := j.runner.Run(j.ctx, j.scale)
+	if err != nil {
+		j.done <- jobResult{err: err}
+		return
+	}
+	elapsed := time.Since(start)
+	if _, resumes1 := s.sus.Stats(); resumes1 > resumes0 {
+		s.mResumed.Add(resumes1 - resumes0)
+	}
+	resp := &Response{
+		Experiment:  j.req.Experiment,
+		Scale:       j.req.Scale,
+		Title:       rep.Title,
+		Markdown:    rep.Markdown(),
+		Metrics:     rep.Metrics,
+		Fingerprint: rep.Fingerprint(),
+		Cache: CacheStats{
+			Hits:       j.col.CacheHits.Load(),
+			Misses:     j.col.CacheMisses.Load(),
+			Executions: j.col.Executions.Load(),
+			Cycles:     j.col.Cycles.Load(),
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	resp.FromCache = resp.Cache.Executions == 0 && resp.Cache.Cycles == 0
+	s.mHits.Add(resp.Cache.Hits)
+	if resp.FromCache {
+		s.mWarm.Inc()
+	}
+	s.lat.record(resp.ElapsedMS)
+	j.done <- jobResult{resp: resp}
+}
+
+// trackJob registers/unregisters a dispatched job for hard cancellation.
+func (s *Server) trackJob(j *job, add bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if add {
+		s.jobs[j] = struct{}{}
+	} else {
+		delete(s.jobs, j)
+	}
+}
+
+// cancelInflight hard-cancels every admitted, unfinished job — dispatched
+// runs stop within a cycle batch, and still-queued jobs fall out of the
+// worker loop's early ctx check (shutdown phase 3).
+func (s *Server) cancelInflight() {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	for j := range s.jobs {
+		j.cancel()
+	}
+}
+
+// Shutdown drains the server: refuse new work, let short runs finish
+// (DrainGrace), suspend long runs to checkpoints (SuspendGrace), then
+// hard-cancel stragglers. It returns once every worker has exited or ctx
+// expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.sched.close()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	wait := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-done:
+			return true
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return false
+		}
+	}
+	if wait(s.cfg.DrainGrace) {
+		return nil
+	}
+	// Phase 2: runs that outlive the grace checkpoint themselves at the
+	// next cycle batch and unwind with ErrSuspended.
+	saves0, _ := s.sus.Stats()
+	s.sus.RequestSuspend()
+	finished := wait(s.cfg.SuspendGrace)
+	if saves1, _ := s.sus.Stats(); saves1 > saves0 {
+		s.mSuspended.Add(saves1 - saves0)
+	}
+	if finished {
+		return nil
+	}
+	// Phase 3: anything still running (e.g. a run without a suspendable
+	// process) is cancelled outright.
+	s.cancelInflight()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleRun admits, queues and answers one run request.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, ErrorPayload{Error: "method_not_allowed"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorPayload{Error: "bad_request", Detail: err.Error()})
+		return
+	}
+	runner, err := experiments.ByID(req.Experiment)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, ErrorPayload{Error: "unknown_experiment", Detail: err.Error()})
+		return
+	}
+	if req.Scale == "" {
+		req.Scale = "quick"
+	}
+	sc, ok := s.cfg.Scales[req.Scale]
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, ErrorPayload{Error: "unknown_scale", Detail: req.Scale})
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	var cancelTimeout context.CancelFunc = func() {}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	defer cancelTimeout()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	col := &reqstat.Collector{}
+	ctx = reqstat.WithCollector(ctx, col)
+	ctx = suspend.WithController(ctx, s.sus)
+	ctx = chaos.WithContext(ctx, s.cfg.Chaos)
+
+	j := &job{
+		tenant: req.Tenant,
+		req:    req,
+		runner: runner,
+		scale:  sc,
+		ctx:    ctx,
+		cancel: cancel,
+		col:    col,
+		done:   make(chan jobResult, 1),
+	}
+	// Track from admission so a shutdown hard-cancel reaches queued jobs,
+	// not just dispatched ones.
+	s.trackJob(j, true)
+	if err := s.sched.enqueue(j); err != nil {
+		s.trackJob(j, false)
+		switch {
+		case errors.Is(err, ErrDraining):
+			s.shed(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, ErrTenantQueueFull):
+			s.shed(w, http.StatusTooManyRequests, "tenant_queue_full")
+		default:
+			s.shed(w, http.StatusTooManyRequests, "overloaded")
+		}
+		return
+	}
+	select {
+	case res := <-j.done:
+		s.writeResult(w, res)
+	case <-r.Context().Done():
+		// Client gone: cancel the run (the step loops stop within one
+		// batch) and record the outcome even though nobody reads it.
+		cancel()
+		res := <-j.done
+		s.writeResult(w, res)
+	}
+}
+
+// shed answers an admission refusal with a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, code int, reason string) {
+	s.mShed.Inc()
+	retry := s.cfg.RetryAfter
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds()+0.999)))
+	s.writeError(w, code, ErrorPayload{Error: reason, RetryAfterSec: retry.Seconds()})
+}
+
+// writeResult maps a job outcome onto the HTTP surface.
+func (s *Server) writeResult(w http.ResponseWriter, res jobResult) {
+	switch {
+	case res.err == nil:
+		s.mRequests[http.StatusOK].Inc()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res.resp)
+	case errors.Is(res.err, suspend.ErrSuspended):
+		// The run checkpointed itself; the same request against a
+		// restarted server resumes it.
+		retry := s.cfg.RetryAfter
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds()+0.999)))
+		s.writeError(w, http.StatusServiceUnavailable, ErrorPayload{
+			Error: "suspended", Detail: "run checkpointed for shutdown; retry to resume",
+			RetryAfterSec: retry.Seconds(),
+		})
+	case errors.Is(res.err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusRequestTimeout, ErrorPayload{Error: "timeout"})
+	case errors.Is(res.err, context.Canceled):
+		s.writeError(w, http.StatusRequestTimeout, ErrorPayload{Error: "cancelled"})
+	default:
+		var pe *PanicError
+		if errors.As(res.err, &pe) {
+			s.writeError(w, http.StatusInternalServerError, ErrorPayload{Error: "panic", Detail: pe.Value})
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, ErrorPayload{Error: "internal", Detail: res.err.Error()})
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, p ErrorPayload) {
+	if c, ok := s.mRequests[code]; ok {
+		c.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(p)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.reg.Exposition())
+}
+
+// handleHealthz reports stalled when workers are busy but global
+// simulation progress has frozen for StallAfter — the signal a chaos
+// run.stall or a wedged simulation produces.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	prog := reqstat.GlobalProgress()
+	now := time.Now()
+	s.watchMu.Lock()
+	if prog != s.lastProg {
+		s.lastProg = prog
+		s.lastChange = now
+	}
+	frozen := now.Sub(s.lastChange)
+	s.watchMu.Unlock()
+	type payload struct {
+		Status     string  `json:"status"`
+		Progress   int64   `json:"progress"`
+		Busy       int64   `json:"busy_workers"`
+		Queued     int     `json:"queued"`
+		StalledSec float64 `json:"stalled_sec,omitempty"`
+	}
+	p := payload{Status: "ok", Progress: prog, Busy: s.busy.Load(), Queued: s.sched.depth()}
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		p.Status = "draining"
+	} else if p.Busy > 0 && frozen >= s.cfg.StallAfter {
+		p.Status = "stalled"
+		p.StalledSec = frozen.Seconds()
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(p)
+}
+
+// handleStatusz is a small human-readable status page.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	saves, resumes := s.sus.Stats()
+	fmt.Fprintf(w, "nocserved\nworkers: %d (busy %d)\nqueued: %d\ndraining: %t\n",
+		s.cfg.Workers, s.busy.Load(), s.sched.depth(), s.draining.Load())
+	fmt.Fprintf(w, "checkpoints: %d saved, %d resumed, %d pending\n",
+		saves, resumes, suspend.Pending(s.cfg.SuspendDir))
+	if pts := s.cfg.Chaos.Points(); len(pts) > 0 {
+		fmt.Fprintf(w, "chaos armed: %v\n", pts)
+	}
+}

@@ -1,0 +1,17 @@
+package suspend
+
+import "context"
+
+type ctxKey struct{}
+
+// WithController attaches c to the context; the traffic runner consults
+// it at cycle-batch boundaries.
+func WithController(ctx context.Context, c *Controller) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the attached controller, or nil (suspend disabled).
+func FromContext(ctx context.Context) *Controller {
+	c, _ := ctx.Value(ctxKey{}).(*Controller)
+	return c
+}

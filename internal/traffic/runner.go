@@ -1,10 +1,22 @@
 package traffic
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
+	"heteronoc/internal/chaos"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/reqstat"
+	"heteronoc/internal/suspend"
 )
+
+// CancelBatch is the cooperative-cancellation granularity of RunCtx: the
+// step loop consults its context (and the suspend controller) every this
+// many cycles. The check is a handful of atomic loads, so at 256 cycles
+// the overhead is unmeasurable, while a cancelled request stops consuming
+// CPU within one batch — the bound the serve acceptance tests pin.
+const CancelBatch = 256
 
 // RunConfig controls one measured simulation, mirroring the paper's
 // methodology: warm the network with WarmupPackets, then measure
@@ -20,6 +32,13 @@ type RunConfig struct {
 	// (deeply saturated networks); the statistics gathered so far are
 	// returned. Zero means 200k cycles.
 	MaxCycles int64
+	// SuspendKey names this run for checkpoint-suspend — normally the
+	// same content-addressed string the run is cached under. When set and
+	// the context carries a suspend.Controller, a suspend request makes
+	// the run checkpoint itself ("noc-run" NOCCKPT01) and return
+	// ErrSuspended, and a later run with the same key resumes from the
+	// recorded cycle. Empty disables suspension (cancellation still works).
+	SuspendKey string
 }
 
 // RunResult summarizes one measured simulation.
@@ -45,17 +64,56 @@ type RunResult struct {
 // Run drives net with the configured traffic until the measurement quota is
 // met, then drains in-flight measured packets.
 func Run(net *noc.Network, cfg RunConfig) (RunResult, error) {
+	return RunCtx(context.Background(), net, cfg)
+}
+
+// Run phases, recorded in suspend checkpoints.
+const (
+	phaseWarmup  = 0
+	phaseMeasure = 1
+)
+
+// RunCtx is Run with cooperative cancellation and checkpoint-suspend.
+// The step loop checks ctx every CancelBatch cycles; a done context stops
+// the simulation within one batch and returns ctx.Err(). If the context
+// carries a suspend.Controller whose suspend has been requested and
+// cfg.SuspendKey is set, the run instead serializes its complete state
+// (network snapshot, RNG position, injection-process state, phase) and
+// returns suspend.ErrSuspended; a later RunCtx with the same key on a
+// freshly built identical network resumes where it left off and produces
+// a byte-identical RunResult.
+func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, error) {
 	if cfg.DataFlits <= 0 {
 		return RunResult{}, fmt.Errorf("traffic: DataFlits must be positive")
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 200000
 	}
-	rng := newRNG(cfg.Seed)
+	src := newCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	terms := numTerminals(cfg.Pattern)
 	if terms == 0 {
 		terms = 64
 	}
+	sus := suspend.FromContext(ctx)
+	cha := chaos.FromContext(ctx)
+
+	phase := phaseWarmup
+	start := net.Cycle()
+	if cfg.SuspendKey != "" {
+		if data, ok := sus.Load(cfg.SuspendKey); ok {
+			p, ps, err := resumeRun(net, cfg, src, data)
+			if err != nil {
+				// The network may be partially restored and cannot be
+				// stepped; drop the checkpoint so the caller's retry
+				// starts clean.
+				sus.Clear(cfg.SuspendKey)
+				return RunResult{}, fmt.Errorf("traffic: resume: %w", err)
+			}
+			phase, start = p, ps
+		}
+	}
+
 	inject := func() {
 		for t := 0; t < terms; t++ {
 			if cfg.Process.Fire(t, net.Cycle(), rng) {
@@ -67,23 +125,64 @@ func Run(net *noc.Network, cfg RunConfig) (RunResult, error) {
 			}
 		}
 	}
-	// Warmup phase.
-	start := net.Cycle()
-	for net.Stats().PacketsInjected < int64(cfg.WarmupPackets) && net.Cycle()-start < cfg.MaxCycles {
-		inject()
+
+	// sinceCheck counts cycles since the last batch boundary; check
+	// settles the per-request cycle account and consults the suspend and
+	// cancellation signals.
+	sinceCheck := 0
+	check := func(ph int, phStart int64) error {
+		reqstat.AddCycles(ctx, int64(sinceCheck))
+		sinceCheck = 0
+		if cha != nil {
+			cha.Hit(chaos.PointRunStall)
+		}
+		// Suspend is tested before plain cancellation so a shutting-down
+		// server checkpoints in-flight runs rather than discarding them.
+		if cfg.SuspendKey != "" && sus.Requested() {
+			if data, err := snapshotRun(net, cfg, src, ph, phStart); err == nil {
+				if err := sus.Save(cfg.SuspendKey, data); err == nil {
+					return suspend.ErrSuspended
+				}
+			}
+			// Snapshot or store failed (unsupported process, no directory):
+			// fall through — the run continues until its context stops it.
+		}
+		return ctx.Err()
+	}
+	step := func(ph int, phStart int64) error {
 		if err := net.Step(); err != nil {
+			return err
+		}
+		if sinceCheck++; sinceCheck >= CancelBatch {
+			return check(ph, phStart)
+		}
+		return nil
+	}
+
+	// Warmup phase (skipped when resuming into measurement).
+	if phase == phaseWarmup {
+		for net.Stats().PacketsInjected < int64(cfg.WarmupPackets) && net.Cycle()-start < cfg.MaxCycles {
+			inject()
+			if err := step(phaseWarmup, start); err != nil {
+				return RunResult{}, err
+			}
+		}
+		reqstat.AddCycles(ctx, int64(sinceCheck))
+		sinceCheck = 0
+		net.ResetStats()
+		start = net.Cycle()
+	}
+	// Measurement phase: keep offering load until the quota of measured
+	// packets has been received or the cycle budget runs out.
+	for net.Stats().PacketsReceived < int64(cfg.MeasurePackets) && net.Cycle()-start < cfg.MaxCycles {
+		inject()
+		if err := step(phaseMeasure, start); err != nil {
 			return RunResult{}, err
 		}
 	}
-	net.ResetStats()
-	// Measurement phase: keep offering load until the quota of measured
-	// packets has been received or the cycle budget runs out.
-	start = net.Cycle()
-	for net.Stats().PacketsReceived < int64(cfg.MeasurePackets) && net.Cycle()-start < cfg.MaxCycles {
-		inject()
-		if err := net.Step(); err != nil {
-			return RunResult{}, err
-		}
+	reqstat.AddCycles(ctx, int64(sinceCheck))
+	if cfg.SuspendKey != "" {
+		sus.Clear(cfg.SuspendKey)
 	}
 	s := net.Stats()
 	res := RunResult{

@@ -24,6 +24,13 @@
 # (BenchmarkNetworkCycle32x32 divided by 1024 routers) — the pair that must
 # stay flat-ish as the engine scales, not just the 8x8 numbers.
 #
+# The run server is measured end to end: one nocserved instance on a
+# loopback port takes a small nocload round (cold then warm repeats) and
+# the SLO report's latency percentiles and cache hit ratio land as
+# per-entry "serve_p50_ms", "serve_p99_ms" and "serve_hit_ratio" fields —
+# the service-level numbers that admission control and the warm cache
+# path are supposed to keep healthy.
+#
 # The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
 # folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
 # a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
@@ -119,7 +126,38 @@ speedup=$(awk -v c=$((t1 - t0)) -v w=$((t2 - t1)) \
 	'BEGIN { printf "%.1f", c / (w > 0 ? w : 1) }')
 echo "warm_regen_speedup ${speedup}x (cold $(((t1 - t0) / 1000000))ms, warm $(((t2 - t1) / 1000000))ms)" >&2
 
-entry=$(awk -v commit="$commit" -v date="$date" -v speedup="$speedup" '
+# Service SLO round: nocserved on a loopback port, nocload driving enough
+# repeats that the warm cache path shows up in the hit ratio. The server's
+# log and the JSON report are temp files; the three headline fields are
+# folded into the history entry below.
+servebin=$(mktemp)
+loadbin=$(mktemp)
+servelog=$(mktemp)
+servejson=$(mktemp)
+servecache=$(mktemp -d)
+trap 'rm -rf "$run" "$expbin" "$cachedir" "$cold_out" "$warm_out" "$servebin" "$loadbin" "$servelog" "$servejson" "$servecache"' EXIT
+go build -o "$servebin" ./cmd/nocserved
+go build -o "$loadbin" ./cmd/nocload
+"$servebin" -addr 127.0.0.1:0 -cachedir "$servecache" 2> "$servelog" &
+servepid=$!
+i=0
+until serveurl=$(sed -n 's|.*listening on \(http://[0-9.:]*\).*|\1|p' "$servelog" | head -1) && [ -n "$serveurl" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "bench: nocserved did not start" >&2; cat "$servelog" >&2; exit 1; }
+	sleep 0.1
+done
+"$loadbin" -url "$serveurl" -n 16 -c 4 -exp fig1,fig2 -scale quick -json > "$servejson"
+kill "$servepid" 2>/dev/null || true
+serve_field() {
+	sed -n "s/.*\"$1\"[[:space:]]*:[[:space:]]*\([0-9.eE+-]*\).*/\1/p" "$servejson" | head -1
+}
+serve_p50=$(serve_field serve_p50_ms)
+serve_p99=$(serve_field serve_p99_ms)
+serve_hit=$(serve_field serve_hit_ratio)
+echo "serve_p50_ms ${serve_p50}  serve_p99_ms ${serve_p99}  serve_hit_ratio ${serve_hit}" >&2
+
+entry=$(awk -v commit="$commit" -v date="$date" -v speedup="$speedup" \
+	-v serve_p50="$serve_p50" -v serve_p99="$serve_p99" -v serve_hit="$serve_hit" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
@@ -145,6 +183,10 @@ END {
 	printf "{\"commit\": \"%s\", \"date\": \"%s\", ", commit, date
 	if (speedup != "")
 		printf "\"warm_regen_speedup\": %s, ", speedup
+	if (serve_p50 != "" && serve_p99 != "")
+		printf "\"serve_p50_ms\": %s, \"serve_p99_ms\": %s, ", serve_p50, serve_p99
+	if (serve_hit != "")
+		printf "\"serve_hit_ratio\": %s, ", serve_hit
 	if ("BenchmarkCheckpointRestore" in ns)
 		printf "\"ckpt_restore_ns_per_op\": %g, ", median(ns["BenchmarkCheckpointRestore"])
 	if ("BenchmarkFaultSweep" in ns)
