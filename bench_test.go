@@ -7,9 +7,12 @@
 package heteronoc
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -427,6 +430,148 @@ func BenchmarkWarmRestore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: mkTraces()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RestoreWarmSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// traceDecodeEntries is the trace length decoded per iteration by
+// BenchmarkTraceDecode; scripts/bench.sh divides it by ns/op to surface
+// the decode throughput as trace_decode_entries_per_sec.
+const traceDecodeEntries = 1 << 16
+
+// BenchmarkTraceDecode measures trace replay three ways: the flat HNTR
+// v1 stream decoded entry-at-a-time (the old pipeline), and a chunked
+// HNTR2 trace through Next and through the bulk NextBatch path. The
+// flat/batch ratio is what the chunked pipeline buys every file-backed
+// warmup.
+func BenchmarkTraceDecode(b *testing.B) {
+	p, err := trace.ProfileByName("SPECjbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flat bytes.Buffer
+	if err := trace.Record(&flat, trace.NewGenerator(p, 0, 128), traceDecodeEntries); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.RecordChunked(&buf, trace.NewGenerator(p, 0, 128), traceDecodeEntries, 0); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	open := func() *trace.ChunkReader {
+		r, err := trace.NewChunkReader(bytes.NewReader(data), int64(len(data)), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	b.Run("flat-next", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := trace.NewFileReader(bytes.NewReader(flat.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < traceDecodeEntries; j++ {
+				r.Next()
+			}
+			if r.Err() != nil {
+				b.Fatal(r.Err())
+			}
+		}
+	})
+	b.Run("next", func(b *testing.B) {
+		r := open()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < traceDecodeEntries; j++ {
+				r.Next()
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		r := open()
+		out := make([]trace.Entry, 1024)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			for r.NextBatch(out) > 0 {
+			}
+		}
+	})
+	b.Run("batch-prefetch", func(b *testing.B) {
+		r, err := trace.NewChunkReader(bytes.NewReader(data), int64(len(data)), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		out := make([]trace.Entry, trace.DefaultChunkEntries)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.SeekTo(0); err != nil {
+				b.Fatal(err)
+			}
+			for r.NextBatch(out) > 0 {
+			}
+		}
+	})
+}
+
+// BenchmarkWarmRestoreSeek is BenchmarkWarmRestore on file-backed chunked
+// traces: restore repositions every reader with one SeekTo instead of the
+// O(warmup) Next() replay, so this number stays flat as warmup depth
+// grows. Surfaced by scripts/bench.sh as warm_restore_seek_ns_per_op.
+func BenchmarkWarmRestoreSeek(b *testing.B) {
+	p, err := trace.ProfileByName("SPECjbb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	readers := make([]trace.Reader, 64)
+	for i := range readers {
+		path := filepath.Join(dir, fmt.Sprintf("core%d.trc2", i))
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.RecordChunked(f, trace.NewGenerator(p, i, 128), 10000, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		cf, err := trace.OpenChunked(path, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cf.Close()
+		readers[i] = cf
+	}
+	warm, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: readers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Warmup(8000)
+	snap, err := warm.WarmSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The chunked readers are position-addressable, so reusing them is
+		// sound: restore lands each one at the warmup boundary by seek, no
+		// matter where the previous iteration left it.
+		s, err := cmp.New(cmp.Config{Layout: core.NewBaseline(8, 8), Traces: readers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dse [-big 4] [-max 100] [-packets 1500] [-rate 0.06] [-bl]
+//	dse [-big 4] [-max 100] [-packets 1500] [-rate 0.06] [-bl] [-workload hotspot]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	rate := flag.Float64("rate", 0.06, "probe injection rate")
 	bl := flag.Bool("bl", true, "evaluate +BL (links redistributed) instead of +B")
 	anneal := flag.Int("anneal", 0, "instead of the 4x4 sweep, run N simulated-annealing steps on the 8x8/16-big space")
+	workload := flag.String("workload", "", "probe traffic shape: uniform (default), hotspot, or mc-incast")
 	flag.Parse()
 
 	if *anneal > 0 {
@@ -30,6 +31,7 @@ func main() {
 			Eval: dse.EvalConfig{
 				W: 8, H: 8, BigCount: 16, LinkRedist: *bl,
 				InjectionRate: *rate, Packets: *packets, Seed: 7,
+				Workload: *workload,
 			},
 			Steps: *anneal,
 			Seed:  11,
@@ -55,6 +57,7 @@ func main() {
 		ReduceSymmetry: true,
 		MaxCandidates:  *maxCand,
 		Seed:           7,
+		Workload:       *workload,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -11,12 +11,22 @@
 //
 // Usage:
 //
-//	tracetool gen  -bench SPECjbb -core 0 -n 100000 -out jbb0.trc
-//	tracetool info -in jbb0.trc
-//	tracetool head -in jbb0.trc -n 20
+//	tracetool gen    -bench SPECjbb -core 0 -n 100000 -out jbb0.trc
+//	tracetool record -workload mc-incast -core 0 -n 100000 -out incast0.trc2
+//	tracetool morph  -in jbb0.trc -out hot.trc2 -hotspot-frac 0.4 -hotspot-lines 16
+//	tracetool info   -in jbb0.trc
+//	tracetool head   -in incast0.trc2 -n 20
+//	tracetool seek-check -in incast0.trc2
 //	tracetool nocrec    -packets 2000 -rate 0.06 -out run.flt
 //	tracetool nocinfo   -in run.flt
 //	tracetool nocexport -in run.flt -out run.trace.json
+//
+// gen writes the flat HNTR v1 stream; record writes the chunked,
+// seekable HNTR2 format and accepts adversarial workload names
+// (hotspot, mc-incast, ...) alongside the Table 2 profiles. info, head
+// and seek-check sniff the format from the file magic; info and head
+// exit nonzero when a trace turns out to be corrupt rather than merely
+// short.
 package main
 
 import (
@@ -40,10 +50,16 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		gen(os.Args[2:])
+	case "record":
+		record(os.Args[2:])
+	case "morph":
+		morph(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
 	case "head":
 		head(os.Args[2:])
+	case "seek-check":
+		seekCheck(os.Args[2:])
 	case "nocrec":
 		nocrec(os.Args[2:])
 	case "nocinfo":
@@ -56,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool gen|info|head|nocrec|nocinfo|nocexport [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool gen|record|morph|info|head|seek-check|nocrec|nocinfo|nocexport [flags]")
 	os.Exit(2)
 }
 
@@ -90,18 +106,120 @@ func gen(args []string) {
 	fmt.Printf("wrote %d entries of %s/core%d to %s\n", *n, *bench, *core, *out)
 }
 
-func open(path string) *trace.FileReader {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	r, err := trace.NewFileReader(f)
+// open sniffs the trace format (flat v1 or chunked HNTR2) and returns a
+// replaying reader.
+func open(path string) trace.File {
+	r, err := trace.Open(path, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	return r
+}
+
+// checkErr exits nonzero when replay ended in a corrupt tail — the
+// distinction FileReader/ChunkReader track via Err — so scripts can gate
+// on trace integrity.
+func checkErr(r trace.File) {
+	if err := r.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "SPECjbb", "workload name: a Table 2 profile or an adversarial class (hotspot, mc-incast, shared-storm, thrash)")
+	core := fs.Int("core", 0, "core id (selects the deterministic stream)")
+	n := fs.Int("n", 100000, "entries to record")
+	lineBytes := fs.Int("line", 128, "cache line size in bytes")
+	tiles := fs.Int("tiles", 64, "tile count of the target CMP (fixes adversarial home/MC mappings)")
+	chunk := fs.Int("chunk", 0, "entries per chunk (0 = default)")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "record: -out is required")
+		os.Exit(2)
+	}
+	src, err := trace.NewWorkloadReader(*workload, *core, *lineBytes, *tiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	err = trace.RecordChunked(f, src, *n, *chunk)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d entries of %s/core%d to %s (chunked)\n", *n, *workload, *core, *out)
+}
+
+func morph(args []string) {
+	fs := flag.NewFlagSet("morph", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file, either format (required)")
+	out := fs.String("out", "", "output chunked trace file (required)")
+	hotFrac := fs.Float64("hotspot-frac", 0, "fraction of accesses redirected to the hot line set")
+	hotLines := fs.Int("hotspot-lines", 16, "hot set size in cache lines")
+	hotTile := fs.Int("hot-tile", 0, "home tile of the hot lines")
+	incastFrac := fs.Float64("incast-frac", 0, "fraction of accesses remapped onto one memory controller")
+	incastMC := fs.Int("incast-mc", 0, "target memory controller index")
+	incastMCs := fs.Int("incast-mcs", 4, "memory controller count")
+	gapScale := fs.Float64("gap-scale", 0, "gap multiplier (<1 is more memory-bound, 0 = unchanged)")
+	tiles := fs.Int("tiles", 64, "tile count of the target CMP")
+	lineBytes := fs.Int("line", 128, "cache line size in bytes")
+	seed := fs.Uint64("seed", 1, "morph decision seed")
+	chunk := fs.Int("chunk", 0, "entries per chunk (0 = default)")
+	n := fs.Int64("n", 0, "entries to convert (0 = whole input)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "morph: -in and -out are required")
+		os.Exit(2)
+	}
+	src := open(*in)
+	spec := trace.MorphSpec{
+		HotspotFrac: *hotFrac, HotspotLines: *hotLines, HotTile: *hotTile,
+		IncastFrac: *incastFrac, IncastMC: *incastMC, IncastMCs: *incastMCs,
+		GapScale: *gapScale,
+	}
+	m := trace.NewMorph(src, spec, *tiles, *lineBytes, *seed)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w, err := trace.NewChunkWriter(f, *chunk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for *n == 0 || w.Count() < *n {
+		e := m.Next()
+		if src.Exhausted() {
+			break
+		}
+		if err := w.Write(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	err = w.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	checkErr(src)
+	fmt.Printf("morphed %d entries of %s into %s\n", w.Count(), *in, *out)
 }
 
 func info(args []string) {
@@ -113,6 +231,11 @@ func info(args []string) {
 		os.Exit(2)
 	}
 	r := open(*in)
+	if cr, ok := r.(*trace.ChunkFile); ok {
+		fmt.Printf("format         chunked (HNTR2), %d entries indexed\n", cr.Len())
+	} else {
+		fmt.Printf("format         flat (HNTR v1)\n")
+	}
 	st := trace.Summarize(r, 0)
 	fmt.Printf("entries        %d\n", st.Entries)
 	fmt.Printf("instructions   %d (memory ops %.1f%%)\n", st.Instructions(), 100*st.MemFrac())
@@ -121,6 +244,7 @@ func info(args []string) {
 		st.DistinctLines, float64(st.DistinctLines)*128/1024)
 	fmt.Printf("same/next-line %.1f%%\n", 100*st.LocalityFrac())
 	fmt.Printf("mean gap       %.2f\n", st.MeanGap())
+	checkErr(r)
 }
 
 func head(args []string) {
@@ -144,6 +268,55 @@ func head(args []string) {
 		}
 		fmt.Printf("%6d: gap=%-4d %s %#x\n", i, e.Gap, op, e.Addr)
 	}
+	checkErr(r)
+}
+
+// seekCheck cross-validates a chunked trace's index: it replays the file
+// sequentially and, at evenly spaced sample positions, confirms that an
+// independent reader SeekTo()ing there sees the identical entry. A clean
+// pass means every chunk decodes, every CRC holds, and the footer index
+// agrees with the stream.
+func seekCheck(args []string) {
+	fs := flag.NewFlagSet("seek-check", flag.ExitOnError)
+	in := fs.String("in", "", "chunked trace file (required)")
+	samples := fs.Int64("samples", 64, "seek positions to probe")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "seek-check: -in is required")
+		os.Exit(2)
+	}
+	seq, ok := open(*in).(*trace.ChunkFile)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "seek-check: not a chunked (HNTR2) trace; flat v1 files are not seekable")
+		os.Exit(1)
+	}
+	skr := open(*in).(*trace.ChunkFile)
+	total := seq.Len()
+	stride := total / *samples
+	if stride < 1 {
+		stride = 1
+	}
+	checked := 0
+	for i := int64(0); i < total; i++ {
+		e := seq.Next()
+		if seq.Err() != nil {
+			break
+		}
+		if i%stride == 0 {
+			if err := skr.SeekTo(i); err != nil {
+				fmt.Fprintf(os.Stderr, "seek-check: SeekTo(%d): %v\n", i, err)
+				os.Exit(1)
+			}
+			if got := skr.Next(); got != e {
+				fmt.Fprintf(os.Stderr, "seek-check: entry %d: seek %+v != sequential %+v\n", i, got, e)
+				os.Exit(1)
+			}
+			checked++
+		}
+	}
+	checkErr(seq)
+	checkErr(skr)
+	fmt.Printf("ok: %d entries, %d seek probes consistent\n", total, checked)
 }
 
 func nocrec(args []string) {

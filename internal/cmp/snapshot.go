@@ -11,30 +11,44 @@ package cmp
 // positions. Mid-run snapshots are refused: in-flight MSHRs and home
 // transactions hold completion closures that cannot be serialized.
 //
-// Restoring into a freshly built System replays the trace readers by the
-// recorded entry count (the generators are deterministic, so replaying N
-// reads reproduces the RNG stream position exactly) and loads the cache
-// state, leaving the system bit-identical to one that ran Warmup itself —
-// the figure pipeline relies on this to share one warmup across every
-// layout variant of a benchmark.
+// Restoring into a freshly built System loads the cache state and lands
+// the trace readers on their post-warmup position. Version 2 checkpoints
+// carry each reader's own O(1) position snapshot (trace.Stateful — RNG
+// register for generators, entry index for chunked file readers), so
+// restore cost is independent of warmup length; readers without state
+// support, and version 1 checkpoints (which predate reader state), fall
+// back to replaying the recorded entry count through Next(), which the
+// deterministic readers reproduce exactly. Either way the restored
+// system is bit-identical to one that ran Warmup itself — the figure
+// pipeline relies on this to share one warmup across every layout
+// variant of a benchmark.
 
 import (
 	"fmt"
 
 	"heteronoc/internal/ckpt"
+	"heteronoc/internal/trace"
 )
 
 const (
 	// KindWarmSystem labels a post-warmup cmp.System checkpoint.
 	KindWarmSystem = "cmp-warm"
 
-	warmSnapshotVersion = 1
+	// Version 2 appends per-reader position state; version 1 (replay-only)
+	// checkpoints are still restorable.
+	warmSnapshotVersion = 2
 )
 
 // WarmSnapshot serializes the post-warmup state of the system. It fails
 // if the system has started timing simulation or any controller is
 // mid-transaction.
 func (s *System) WarmSnapshot() ([]byte, error) {
+	return s.warmSnapshot(warmSnapshotVersion)
+}
+
+// warmSnapshot encodes at a specific schema version — tests use it to
+// produce version-1 checkpoints and pin the compatibility path.
+func (s *System) warmSnapshot(version uint64) ([]byte, error) {
 	if s.now != 0 {
 		return nil, fmt.Errorf("cmp: WarmSnapshot after %d timing cycles; only post-warmup snapshots are supported", s.now)
 	}
@@ -48,7 +62,7 @@ func (s *System) WarmSnapshot() ([]byte, error) {
 	}
 	w := ckpt.NewWriter(ckpt.Header{
 		Kind:    KindWarmSystem,
-		Version: warmSnapshotVersion,
+		Version: version,
 	})
 	w.Int(len(s.Tiles))
 	w.Int(s.cfg.LineBytes)
@@ -60,6 +74,18 @@ func (s *System) WarmSnapshot() ([]byte, error) {
 		}
 		if err := tile.Home.EncodeState(w); err != nil {
 			return nil, err
+		}
+	}
+	// v2: one position blob per reader. Empty means "no state support,
+	// replay on restore", so mixed reader sets degrade per reader, not
+	// per checkpoint.
+	if version >= 2 {
+		for _, tile := range s.Tiles {
+			if st, ok := s.cfg.Traces[tile.ID].(trace.Stateful); ok {
+				w.Bytes(st.SaveState())
+			} else {
+				w.Bytes(nil)
+			}
 		}
 	}
 	return w.Finish(), nil
@@ -80,8 +106,8 @@ func (s *System) RestoreWarmSnapshot(data []byte) error {
 	if h.Kind != KindWarmSystem {
 		return fmt.Errorf("cmp: checkpoint kind %q, want %q", h.Kind, KindWarmSystem)
 	}
-	if h.Version != warmSnapshotVersion {
-		return fmt.Errorf("cmp: checkpoint version %d, want %d", h.Version, warmSnapshotVersion)
+	if h.Version != 1 && h.Version != warmSnapshotVersion {
+		return fmt.Errorf("cmp: checkpoint version %d, want <=%d", h.Version, warmSnapshotVersion)
 	}
 	if s.now != 0 || s.warmedEntries != 0 {
 		return fmt.Errorf("cmp: RestoreWarmSnapshot target must be freshly constructed")
@@ -113,15 +139,32 @@ func (s *System) RestoreWarmSnapshot(data []byte) error {
 			return err
 		}
 	}
+	var readerState [][]byte
+	if h.Version >= 2 {
+		readerState = make([][]byte, len(s.Tiles))
+		for i := range s.Tiles {
+			readerState[i] = r.Bytes()
+		}
+	}
 	if err := r.Done(); err != nil {
 		return err
 	}
-	// Replay the trace readers to the post-warmup position. Warmup reads
-	// exactly entriesPerCore entries from each core's reader; the order of
-	// interleaving across cores does not matter because readers are
-	// per-core.
+	// Land the trace readers on the post-warmup position: O(1) state
+	// restore when the checkpoint carries a blob and the reader supports
+	// it, otherwise replay the recorded entry count through Next() (the
+	// readers are deterministic, so N reads reproduce the position
+	// exactly; interleaving across cores does not matter because readers
+	// are per-core).
 	for _, tile := range s.Tiles {
 		tr := s.cfg.Traces[tile.ID]
+		if readerState != nil && len(readerState[tile.ID]) > 0 {
+			if st, ok := tr.(trace.Stateful); ok {
+				if err := st.RestoreState(readerState[tile.ID]); err != nil {
+					return fmt.Errorf("cmp: reader %d: %w", tile.ID, err)
+				}
+				continue
+			}
+		}
 		for k := 0; k < entries; k++ {
 			tr.Next()
 		}

@@ -125,6 +125,29 @@ type EvalConfig struct {
 	// MaxCandidates bounds the sweep (0 = all).
 	MaxCandidates int
 	Seed          int64
+	// Workload selects the probe's traffic shape: "" or "uniform" for the
+	// default uniform-random probe, "hotspot" for center-hotspot traffic,
+	// "mc-incast" for corner incast — so the search can optimize a
+	// placement for the adversarial classes, not just UR.
+	Workload string
+}
+
+// probePattern maps the Workload knob to a traffic pattern.
+func probePattern(cfg EvalConfig) (traffic.Pattern, error) {
+	n := cfg.W * cfg.H
+	switch cfg.Workload {
+	case "", "uniform":
+		return traffic.UniformRandom{N: n}, nil
+	case "hotspot":
+		// Hot terminal at the mesh center, 30% converging traffic.
+		return traffic.Hotspot{N: n, Hot: n/2 + cfg.W/2, Frac: 0.3}, nil
+	case "mc-incast":
+		// Traffic converges on the corner terminals where the default
+		// memory placement puts its controllers.
+		return traffic.Incast{N: n, Sinks: []int{0, cfg.W - 1, n - cfg.W, n - 1}, Frac: 0.6}, nil
+	default:
+		return nil, fmt.Errorf("dse: unknown probe workload %q", cfg.Workload)
+	}
 }
 
 // Explore scores placements and returns them sorted best first. The
@@ -173,6 +196,11 @@ func Evaluate(cfg EvalConfig, bigSet []int) (Candidate, error) {
 func EvaluateCtx(ctx context.Context, cfg EvalConfig, bigSet []int) (Candidate, error) {
 	key := fmt.Sprintf("dse|%dx%d|big=%v|bl=%t|r=%g|p=%d|seed=%d",
 		cfg.W, cfg.H, bigSet, cfg.LinkRedist, cfg.InjectionRate, cfg.Packets, cfg.Seed)
+	if cfg.Workload != "" && cfg.Workload != "uniform" {
+		// Appended only when set, so default-probe keys (and their disk
+		// cache) stay stable across this addition.
+		key += "|wl=" + cfg.Workload
+	}
 	return runcache.ForCtx(ctx, key, func(ctx context.Context) (Candidate, error) {
 		return evaluateUncached(ctx, key, cfg, bigSet)
 	})
@@ -184,8 +212,12 @@ func evaluateUncached(ctx context.Context, key string, cfg EvalConfig, bigSet []
 	if err != nil {
 		return Candidate{}, err
 	}
+	pat, err := probePattern(cfg)
+	if err != nil {
+		return Candidate{}, err
+	}
 	res, err := traffic.RunCtx(ctx, net, traffic.RunConfig{
-		Pattern:        traffic.UniformRandom{N: cfg.W * cfg.H},
+		Pattern:        pat,
 		Process:        traffic.Bernoulli{P: cfg.InjectionRate},
 		DataFlits:      layout.DataPacketFlits(),
 		WarmupPackets:  cfg.Packets / 10,

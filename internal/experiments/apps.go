@@ -47,14 +47,11 @@ func runApp(ctx context.Context, l core.Layout, bench string, sc Scale, mcTiles 
 }
 
 func runAppUncached(ctx context.Context, l core.Layout, bench string, sc Scale, mcTiles []int, cores []cmp.CoreConfig, alg routing.Algorithm) (appResult, error) {
-	p, err := trace.ProfileByName(bench)
+	// bench resolves through the workload registry, so adversarial names
+	// ("hotspot", "mc-incast", ...) work anywhere a profile name does.
+	trs, err := trace.WorkloadTraces(bench, l.Mesh.NumTerminals(), 128)
 	if err != nil {
 		return appResult{}, err
-	}
-	n := l.Mesh.NumTerminals()
-	trs := make([]trace.Reader, n)
-	for i := range trs {
-		trs[i] = trace.NewGenerator(p, i, 128)
 	}
 	s, err := cmp.New(cmp.Config{
 		Layout:  l,

@@ -33,6 +33,7 @@ func Extensions() []Runner {
 		{"model", "Analytical cross-validation", Model},
 		{"degradation", "Graceful degradation under link failures", Degradation},
 		{"scale", "Latency scaling to 16x16 and 32x32 meshes", ScaleUp},
+		{"adversarial", "Synthesized adversarial workloads (hotspot, MC incast, ...)", Adversarial},
 	}
 }
 
@@ -467,14 +468,9 @@ func Prefetch(ctx context.Context, sc Scale) (*Report, error) {
 
 // runAppPrefetch is runApp with the prefetcher toggle.
 func runAppPrefetch(ctx context.Context, l core.Layout, bench string, sc Scale, prefetch bool) (appResult, error) {
-	p, err := trace.ProfileByName(bench)
+	trs, err := trace.WorkloadTraces(bench, l.Mesh.NumTerminals(), 128)
 	if err != nil {
 		return appResult{}, err
-	}
-	n := l.Mesh.NumTerminals()
-	trs := make([]trace.Reader, n)
-	for i := range trs {
-		trs[i] = trace.NewGenerator(p, i, 128)
 	}
 	s, err := cmp.New(cmp.Config{Layout: l, Traces: trs, Prefetch: prefetch})
 	if err != nil {
@@ -485,6 +481,46 @@ func runAppPrefetch(ctx context.Context, l core.Layout, bench string, sc Scale, 
 		return appResult{}, err
 	}
 	return collect(s, l), nil
+}
+
+// Adversarial runs the trace-morphing stress workloads — a directory
+// hotspot, memory-controller incast, a coherence storm and a capacity
+// thrash (trace.AdversarialWorkloads) — on the baseline and Diagonal+BL.
+// These are the traffic shapes a heterogeneous placement claims to
+// absorb; if the big routers sit where the contention forms, the hetero
+// advantage should be at least as large as on the well-behaved Table 2
+// suite. The workloads resolve by name through the same path as the
+// profiles, so nocserved requests and ad-hoc runs reach them too.
+func Adversarial(ctx context.Context, sc Scale) (*Report, error) {
+	r := newReport("adversarial", "Synthesized adversarial workloads (extension)")
+	base := core.NewBaseline(8, 8)
+	diag := core.NewLayout(core.PlacementDiagonal, 8, 8, true)
+	r.Printf("| workload | base IPC | diag+BL IPC | IPC gain %% | net latency red %% |\n|---|---|---|---|---|\n")
+	var jobs []func(ctx context.Context) (appResult, error)
+	names := trace.AdversarialNames()
+	for _, w := range names {
+		for _, l := range []core.Layout{base, diag} {
+			w, l := w, l
+			jobs = append(jobs, func(ctx context.Context) (appResult, error) { return runApp(ctx, l, w, sc, nil, nil, nil) })
+		}
+	}
+	flat, err := runAll(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range names {
+		b, d := flat[i*2], flat[i*2+1]
+		gain := stats.PctDelta(d.IPC, b.IPC)
+		red := stats.PctReduction(d.NetLatNS, b.NetLatNS)
+		r.Printf("| %s | %.3f | %.3f | %+.1f | %+.1f |\n", w, b.IPC, d.IPC, gain, red)
+		r.Metrics[keyName(w)+"_ipc_gain_pct"] = gain
+		r.Metrics[keyName(w)+"_latency_reduction_pct"] = red
+	}
+	for _, w := range trace.AdversarialWorkloads() {
+		r.Printf("\n- **%s**: %s", w.Name, w.Desc)
+	}
+	r.Printf("\n\nAll four stream shapes are synthesized by trace.Morph from Table 2 profiles; `tracetool morph` emits the same streams as HNTR2 files for external tools.\n")
+	return r, nil
 }
 
 // Tails compares latency percentiles: hotspot relief should compress the

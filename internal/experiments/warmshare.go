@@ -93,14 +93,9 @@ func warmSystem(ctx context.Context, s *cmp.System, l core.Layout, bench string,
 // generators. Its warm state equals that of any same-sized layout
 // (TestWarmSnapshotSharedAcrossLayouts).
 func warmTemplate(l core.Layout, bench string, prefetch bool) (*cmp.System, error) {
-	p, err := trace.ProfileByName(bench)
+	trs, err := trace.WorkloadTraces(bench, l.Mesh.NumTerminals(), 128)
 	if err != nil {
 		return nil, err
-	}
-	n := l.Mesh.NumTerminals()
-	trs := make([]trace.Reader, n)
-	for i := range trs {
-		trs[i] = trace.NewGenerator(p, i, 128)
 	}
 	w, h := l.Mesh.Dims()
 	return cmp.New(cmp.Config{Layout: core.NewBaseline(w, h), Traces: trs, Prefetch: prefetch})

@@ -81,12 +81,18 @@ func (t *Writer) Flush() error { return t.w.Flush() }
 
 // FileReader replays a recorded trace. When the file ends it keeps
 // returning the final entry with an enormous gap, mimicking a finished
-// program (an effectively idle core).
+// program (an effectively idle core). A clean end-of-file (exhaustion at
+// an entry boundary) and a corrupt tail (truncation mid-entry, varint
+// overflow, read error) both end the stream this way — the Reader
+// interface is total — but only the former leaves Err() nil; callers that
+// care about integrity (tracetool info, tests) must check Err after
+// replay.
 type FileReader struct {
 	r        *bufio.Reader
 	lastAddr uint64
 	last     Entry
 	done     bool
+	err      error
 	count    int64
 }
 
@@ -123,17 +129,17 @@ func (f *FileReader) Next() Entry {
 	}
 	gap, err := binary.ReadUvarint(f.r)
 	if err != nil {
-		f.done = true
+		f.finish(err, err == io.EOF)
 		return f.Next()
 	}
 	delta, err := binary.ReadVarint(f.r)
 	if err != nil {
-		f.done = true
+		f.finish(err, false)
 		return f.Next()
 	}
 	flags, err := f.r.ReadByte()
 	if err != nil {
-		f.done = true
+		f.finish(err, false)
 		return f.Next()
 	}
 	addr := uint64(int64(f.lastAddr) + delta)
@@ -142,6 +148,27 @@ func (f *FileReader) Next() Entry {
 	f.count++
 	return f.last
 }
+
+// finish ends the stream. An io.EOF on the first byte of an entry (clean
+// reports it as a boundary) is normal exhaustion; anything else — EOF
+// mid-entry, a varint overflow, an underlying read failure — is a corrupt
+// tail, recorded for Err. (binary.ReadUvarint already converts an EOF
+// inside a varint into io.ErrUnexpectedEOF; the boundary flag covers the
+// fields after the first.)
+func (f *FileReader) finish(err error, cleanBoundary bool) {
+	f.done = true
+	if cleanBoundary {
+		return
+	}
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	f.err = fmt.Errorf("trace: corrupt trace after %d entries: %w", f.count, err)
+}
+
+// Err reports whether replay ended in a corrupt tail rather than a clean
+// end-of-file. It is nil while entries remain and after clean exhaustion.
+func (f *FileReader) Err() error { return f.err }
 
 // Count returns the number of entries decoded so far.
 func (f *FileReader) Count() int64 { return f.count }

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is the common replay surface of the two on-disk trace formats:
+// the flat HNTR v1 stream and the chunked, seekable HNTR2. Both are
+// total Readers that distinguish clean exhaustion from a corrupt tail
+// via Err. Chunked files additionally implement BatchReader, Seeker and
+// Stateful; callers that want those paths type-assert.
+type File interface {
+	Reader
+	Exhausted() bool
+	Err() error
+	Close() error
+}
+
+// flatFile adapts FileReader to File by owning the backing *os.File.
+type flatFile struct {
+	*FileReader
+	f *os.File
+}
+
+func (h *flatFile) Close() error { return h.f.Close() }
+
+// Open sniffs a trace file's format from its magic and returns a
+// replaying reader for it. prefetch enables the background decode
+// goroutine and applies only to chunked (HNTR2) traces; flat v1 streams
+// ignore it.
+func Open(path string, prefetch bool) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]byte, len(chunkMagic))
+	if _, err := io.ReadFull(f, head); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head) == chunkMagic {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		cr, err := NewChunkReader(f, st.Size(), prefetch)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &ChunkFile{ChunkReader: cr, f: f}, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fr, err := NewFileReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &flatFile{FileReader: fr, f: f}, nil
+}

@@ -45,20 +45,21 @@ func (s TraceStats) LocalityFrac() float64 {
 	return float64(s.LocalityHits) / float64(s.Entries)
 }
 
-// Summarize consumes up to n entries (or, for a FileReader, until the file
-// ends when n == 0) and aggregates statistics. Line granularity is 128
-// bytes, matching the system configuration.
+// Summarize consumes up to n entries (or, for a file-backed reader that
+// reports exhaustion, until the trace ends when n == 0) and aggregates
+// statistics. Line granularity is 128 bytes, matching the system
+// configuration.
 func Summarize(r Reader, n int) TraceStats {
 	var st TraceStats
 	seen := make(map[uint64]struct{})
 	var last uint64
-	fr, isFile := r.(*FileReader)
+	ex, isFile := r.(interface{ Exhausted() bool })
 	for i := 0; ; i++ {
 		if n > 0 && i >= n {
 			break
 		}
 		e := r.Next()
-		if isFile && fr.Exhausted() {
+		if isFile && ex.Exhausted() {
 			break
 		}
 		if !isFile && n == 0 {

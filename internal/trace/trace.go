@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -24,6 +25,44 @@ type Entry struct {
 // Reader produces an endless instruction stream.
 type Reader interface {
 	Next() Entry
+}
+
+// BatchReader is a Reader that can decode many entries per call. NextBatch
+// fills out and returns how many entries were produced — always len(out)
+// for generators (endless streams), possibly fewer at the end of a file.
+// The caller owns out; implementations must not retain it, so steady-state
+// consumption is allocation-free on both sides.
+type BatchReader interface {
+	Reader
+	NextBatch(out []Entry) int
+}
+
+// Stateful is a Reader whose complete position — RNG register, address
+// walk, file offset — can be captured and restored in O(1), without
+// replaying the stream. cmp warm-checkpoint restore uses this to land
+// readers on their post-warmup position directly instead of calling
+// Next() in an O(warmup-length) replay loop.
+type Stateful interface {
+	Reader
+	// SaveState returns an opaque snapshot of the reader's position.
+	SaveState() []byte
+	// RestoreState repositions the reader to a SaveState snapshot. After a
+	// successful restore the stream continues exactly as it would have on
+	// the original reader.
+	RestoreState(state []byte) error
+}
+
+// Seeker is a Reader addressable by entry index: SeekTo(n) leaves the
+// reader positioned as if n entries had been consumed since the start.
+// File-backed readers implement this with one index lookup + one chunk
+// decode (see ChunkReader); generators generally cannot (their position
+// is RNG state, not an index) and implement Stateful instead.
+type Seeker interface {
+	Reader
+	// Pos returns the number of entries consumed so far.
+	Pos() int64
+	// Seek repositions to just after entry n-1 (SeekTo(0) rewinds).
+	SeekTo(n int64) error
 }
 
 // Profile parameterizes a synthetic benchmark.
@@ -111,10 +150,15 @@ func Fig11Names() []string {
 	return []string{"SAP", "SPECjbb", "ferret", "vips", "dedup", "streamcluster"}
 }
 
-// Generator is a deterministic synthetic trace for one core.
+// Generator is a deterministic synthetic trace for one core. Its RNG is
+// an lfgSource — stream-identical to the math/rand source it historically
+// used (TestLFGMatchesMathRand), but with a serializable register, which
+// makes the whole generator Stateful: SaveState/RestoreState capture the
+// exact stream position in O(1).
 type Generator struct {
 	p    Profile
 	core int
+	src  *lfgSource
 	rng  *rand.Rand
 	// address regions, in line units
 	sharedBase  uint64
@@ -122,6 +166,7 @@ type Generator struct {
 	hotLines    int
 	lastLine    uint64
 	lineBytes   uint64
+	pos         int64
 }
 
 // NewGenerator builds the trace source for one core of a benchmark. The
@@ -138,10 +183,12 @@ func NewGenerator(p Profile, core int, lineBytes int) *Generator {
 func NewGeneratorAt(p Profile, core int, lineBytes int, baseLine uint64) *Generator {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d", p.Name, core)
+	src := newLFG(int64(h.Sum64() & 0x7fffffffffffffff))
 	g := &Generator{
 		p:         p,
 		core:      core,
-		rng:       rand.New(rand.NewSource(int64(h.Sum64() & 0x7fffffffffffffff))),
+		src:       src,
+		rng:       rand.New(src),
 		lineBytes: uint64(lineBytes),
 	}
 	g.sharedBase = baseLine
@@ -156,6 +203,7 @@ func NewGeneratorAt(p Profile, core int, lineBytes int, baseLine uint64) *Genera
 
 // Next produces the next trace entry.
 func (g *Generator) Next() Entry {
+	g.pos++
 	e := Entry{Write: g.rng.Float64() < g.p.WriteFrac}
 	if g.rng.Float64() >= g.p.Burst {
 		// Geometric gap with the profile's mean.
@@ -195,10 +243,59 @@ func (g *Generator) Next() Entry {
 	return e
 }
 
+// NextBatch fills out with the next len(out) entries (generators never
+// run dry) — the bulk API that amortizes per-entry interface dispatch for
+// recording and morphing pipelines.
+func (g *Generator) NextBatch(out []Entry) int {
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return len(out)
+}
+
+// Pos returns the number of entries generated so far.
+func (g *Generator) Pos() int64 { return g.pos }
+
+// genStateVersion tags Generator state snapshots.
+const genStateVersion = 1
+
+// SaveState captures the generator's exact stream position: the RNG
+// register plus the spatial-locality walk state. O(1) in the stream
+// position (the register is a fixed ~4.9KB).
+func (g *Generator) SaveState() []byte {
+	dst := make([]byte, 0, 1+8+8+lfgStateLen)
+	dst = append(dst, genStateVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(g.pos))
+	dst = binary.LittleEndian.AppendUint64(dst, g.lastLine)
+	return g.src.saveTo(dst)
+}
+
+// RestoreState repositions the generator to a SaveState snapshot taken
+// from a generator with the same construction parameters.
+func (g *Generator) RestoreState(state []byte) error {
+	if len(state) < 1+8+8 || state[0] != genStateVersion {
+		return fmt.Errorf("trace: bad generator state (len %d)", len(state))
+	}
+	pos := int64(binary.LittleEndian.Uint64(state[1:9]))
+	lastLine := binary.LittleEndian.Uint64(state[9:17])
+	rest, ok := g.src.loadFrom(state[17:])
+	if !ok || len(rest) != 0 {
+		return fmt.Errorf("trace: bad generator RNG state (len %d)", len(state))
+	}
+	g.pos = pos
+	g.lastLine = lastLine
+	return nil
+}
+
 // URGenerator is the closed-loop uniform-random workload of the
-// memory-controller case study: every access misses everywhere and targets
-// a uniformly random line, so each one becomes a memory request.
+// memory-controller case study: each access targets a uniformly random
+// line in a 2^30-line span, so in any realistic run effectively every
+// access is a cold miss and becomes a memory request. (Repeats are
+// possible — birthday collisions appear after tens of thousands of draws
+// — but rare enough that the occasional cache hit does not change the
+// study's character.)
 type URGenerator struct {
+	src       *lfgSource
 	rng       *rand.Rand
 	next      uint64
 	core      int
@@ -206,22 +303,63 @@ type URGenerator struct {
 	lineBytes uint64
 }
 
-// NewURGenerator builds the UR workload for one core: a non-repeating walk
-// over a huge address space (every access is a cold miss).
+// NewURGenerator builds the UR workload for one core: a uniform random
+// walk over a per-core 2^30-line region (tagged by core in bits 40+, so
+// cores never alias each other).
 func NewURGenerator(core int, lineBytes int) *URGenerator {
+	src := newLFG(int64(core)*7919 + 17)
 	return &URGenerator{
-		rng:       rand.New(rand.NewSource(int64(core)*7919 + 17)),
+		src:       src,
+		rng:       rand.New(src),
 		core:      core,
 		span:      1 << 30,
 		lineBytes: uint64(lineBytes),
 	}
 }
 
-// Next returns a never-repeating random access with no gap.
+// Next returns the next uniform-random read. The fixed Gap of 2 models a
+// thin compute strand between accesses; it keeps the workload closed-loop
+// (MSHR-limited) rather than literally back-to-back.
 func (g *URGenerator) Next() Entry {
 	g.next++
 	line := (uint64(g.rng.Int63()) % g.span) | (uint64(g.core) << 40)
 	return Entry{Gap: 2, Addr: line * g.lineBytes, Write: false}
+}
+
+// NextBatch fills out (generators never run dry).
+func (g *URGenerator) NextBatch(out []Entry) int {
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return len(out)
+}
+
+// Pos returns the number of entries generated so far.
+func (g *URGenerator) Pos() int64 { return int64(g.next) }
+
+// urStateVersion tags URGenerator state snapshots.
+const urStateVersion = 2
+
+// SaveState captures the exact stream position (RNG register + count).
+func (g *URGenerator) SaveState() []byte {
+	dst := make([]byte, 0, 1+8+lfgStateLen)
+	dst = append(dst, urStateVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, g.next)
+	return g.src.saveTo(dst)
+}
+
+// RestoreState repositions the generator to a SaveState snapshot.
+func (g *URGenerator) RestoreState(state []byte) error {
+	if len(state) < 1+8 || state[0] != urStateVersion {
+		return fmt.Errorf("trace: bad UR generator state (len %d)", len(state))
+	}
+	next := binary.LittleEndian.Uint64(state[1:9])
+	rest, ok := g.src.loadFrom(state[9:])
+	if !ok || len(rest) != 0 {
+		return fmt.Errorf("trace: bad UR generator RNG state (len %d)", len(state))
+	}
+	g.next = next
+	return nil
 }
 
 // SortedProfileNames returns all names sorted (for stable iteration in

@@ -191,3 +191,27 @@ func (h Hotspot) Dst(src int, rng *rand.Rand) int {
 	}
 	return UniformRandom{N: h.N}.Dst(src, rng)
 }
+
+// Incast converges a fraction of all traffic onto a small sink set —
+// the many-to-few shape memory-controller tiles see when every core
+// misses at once. The generalization of Hotspot to multiple sinks.
+type Incast struct {
+	N int
+	// Sinks are the converged-upon terminals (e.g. the MC tiles).
+	Sinks []int
+	// Frac is the probability a packet targets a sink (chosen uniformly
+	// among sinks other than the source).
+	Frac float64
+}
+
+func (in Incast) Name() string { return "incast" }
+
+func (in Incast) Dst(src int, rng *rand.Rand) int {
+	if len(in.Sinks) > 0 && rng.Float64() < in.Frac {
+		d := in.Sinks[rng.Intn(len(in.Sinks))]
+		if d != src {
+			return d
+		}
+	}
+	return UniformRandom{N: in.N}.Dst(src, rng)
+}

@@ -31,6 +31,14 @@
 # the service-level numbers that admission control and the warm cache
 # path are supposed to keep healthy.
 #
+# The streaming trace pipeline lands as two per-entry fields:
+# "trace_decode_entries_per_sec" (BenchmarkTraceDecode/batch: bulk HNTR2
+# chunk decode throughput — the benchmark decodes 65536 entries per op,
+# so the rate is 65536e9/ns_per_op) and "warm_restore_seek_ns_per_op"
+# (BenchmarkWarmRestoreSeek: restoring a CMP warm checkpoint whose trace
+# readers are file-backed chunked traces, repositioned by SeekTo instead
+# of entry replay).
+#
 # The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
 # folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
 # a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
@@ -191,6 +199,10 @@ END {
 		printf "\"ckpt_restore_ns_per_op\": %g, ", median(ns["BenchmarkCheckpointRestore"])
 	if ("BenchmarkFaultSweep" in ns)
 		printf "\"fault_sweep_ns_per_op\": %g, ", median(ns["BenchmarkFaultSweep"])
+	if ("BenchmarkTraceDecode/batch" in ns)
+		printf "\"trace_decode_entries_per_sec\": %g, ", 65536 * 1e9 / median(ns["BenchmarkTraceDecode/batch"])
+	if ("BenchmarkWarmRestoreSeek" in ns)
+		printf "\"warm_restore_seek_ns_per_op\": %g, ", median(ns["BenchmarkWarmRestoreSeek"])
 	if ("BenchmarkTableBuild1024" in ns)
 		printf "\"table_build_1024_ns_per_op\": %g, ", median(ns["BenchmarkTableBuild1024"])
 	if ("BenchmarkNetworkCycle32x32" in ns)
