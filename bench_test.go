@@ -106,6 +106,33 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkCycleNoAttr is BenchmarkNetworkCycle with the always-on
+// attribution counter path disabled. The delta against BenchmarkNetworkCycle
+// is the cost of causal latency attribution; scripts/bench.sh records it as
+// attribution_overhead_pct with a ≤5% budget.
+func BenchmarkNetworkCycleNoAttr(b *testing.B) {
+	l := core.NewBaseline(8, 8)
+	net, err := l.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetAttribution(false)
+	gen := traffic.UniformRandom{N: 64}
+	proc := traffic.Bernoulli{P: 0.03}
+	rng := newBenchRng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 64; t++ {
+			if proc.Fire(t, net.Cycle(), rng) {
+				net.Inject(&noc.Packet{Src: t, Dst: gen.Dst(t, rng), NumFlits: 6})
+			}
+		}
+		if err := net.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHeteroNetworkCycle is the same for Diagonal+BL (wide links,
 // split-datapath allocator).
 func BenchmarkHeteroNetworkCycle(b *testing.B) {

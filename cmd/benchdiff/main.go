@@ -1,0 +1,170 @@
+// Command benchdiff compares the two most recent entries of a
+// BENCH_noc.json history (the file scripts/bench.sh appends to) and flags
+// per-benchmark regressions beyond a threshold. It is an informational
+// check by default — regressions are reported on stdout and the exit code
+// stays zero so a CI step can surface drift without blocking merges; pass
+// -strict to exit nonzero instead (for local pre-push gates).
+//
+// Compared quantities:
+//   - every benchmark's ns_per_op (lower is better)
+//   - the scalar summary fields: *_ns_per_op, *_ms, *_pct and
+//     cycle_ns_per_router_32x32 (lower is better), warm_regen_speedup,
+//     serve_hit_ratio and trace_decode_entries_per_sec (higher is better)
+//
+// Usage:
+//
+//	benchdiff [-in BENCH_noc.json] [-threshold 20] [-strict]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// entry is one bench.sh history record. Scalar summary fields vary by
+// era, so they are captured generically from the raw object.
+type entry struct {
+	Commit     string `json:"commit"`
+	Date       string `json:"date"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+	scalars map[string]float64
+}
+
+// higherBetter reports whether a larger value of the named scalar field is
+// an improvement.
+func higherBetter(name string) bool {
+	switch name {
+	case "warm_regen_speedup", "serve_hit_ratio", "trace_decode_entries_per_sec":
+		return true
+	}
+	return false
+}
+
+func loadHistory(path string) ([]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s is not a history array: %w", path, err)
+	}
+	out := make([]entry, 0, len(raw))
+	for _, obj := range raw {
+		var e entry
+		e.scalars = map[string]float64{}
+		for k, v := range obj {
+			switch k {
+			case "commit":
+				json.Unmarshal(v, &e.Commit)
+			case "date":
+				json.Unmarshal(v, &e.Date)
+			case "benchmarks":
+				json.Unmarshal(v, &e.Benchmarks)
+			default:
+				var f float64
+				if err := json.Unmarshal(v, &f); err == nil {
+					e.scalars[k] = f
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// diff is one compared quantity across the two entries.
+type diff struct {
+	name       string
+	old, new   float64
+	deltaPct   float64 // signed: positive means the value grew
+	regression bool
+}
+
+func compare(prev, cur entry, threshold float64) []diff {
+	var out []diff
+	add := func(name string, old, new float64, hb bool) {
+		if old <= 0 {
+			return
+		}
+		d := diff{name: name, old: old, new: new, deltaPct: 100 * (new - old) / old}
+		if hb {
+			d.regression = d.deltaPct < -threshold
+		} else {
+			d.regression = d.deltaPct > threshold
+		}
+		out = append(out, d)
+	}
+	prevNs := map[string]float64{}
+	for _, b := range prev.Benchmarks {
+		prevNs[b.Name] = b.NsPerOp
+	}
+	for _, b := range cur.Benchmarks {
+		if old, ok := prevNs[b.Name]; ok {
+			add(b.Name, old, b.NsPerOp, false)
+		}
+	}
+	names := make([]string, 0, len(cur.scalars))
+	for k := range cur.scalars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		old, ok := prev.scalars[k]
+		if !ok {
+			continue
+		}
+		// Overhead percentages can be legitimately near zero and noisy;
+		// only the *_pct fields with a real budget elsewhere are skipped
+		// from ratio comparison when tiny.
+		if strings.HasSuffix(k, "_pct") && old < 1 {
+			continue
+		}
+		add(k, old, cur.scalars[k], higherBetter(k))
+	}
+	return out
+}
+
+func main() {
+	in := flag.String("in", "BENCH_noc.json", "bench history file (JSON array, oldest first)")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent")
+	strict := flag.Bool("strict", false, "exit nonzero when a regression is flagged")
+	flag.Parse()
+
+	hist, err := loadHistory(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(hist) < 2 {
+		fmt.Printf("benchdiff: %s has %d entries; nothing to compare\n", *in, len(hist))
+		return
+	}
+	prev, cur := hist[len(hist)-2], hist[len(hist)-1]
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
+		prev.Commit, prev.Date, cur.Commit, cur.Date, *threshold)
+	regressions := 0
+	for _, d := range compare(prev, cur, *threshold) {
+		mark := "  "
+		if d.regression {
+			mark = "!!"
+			regressions++
+		}
+		fmt.Printf("%s %-42s %14.4g -> %-14.4g %+6.1f%%\n", mark, d.name, d.old, d.new, d.deltaPct)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, *threshold)
+		if *strict {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("no regressions beyond threshold")
+}

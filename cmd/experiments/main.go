@@ -158,12 +158,19 @@ func main() {
 	var b strings.Builder
 	metrics := map[string]map[string]float64{}
 	fingerprints := map[string]string{}
+	// rootSpan times each experiment (and, through the context, the cache
+	// probe vs execution split inside every runNet). It rides in the
+	// manifest's non-canonical section: diagnostics, never identity.
+	rootSpan := obs.NewSpan("experiments")
+	rootSpan.SetAttr("scale", sc.Name)
 	fmt.Fprintf(&b, "# HeteroNoC experiment results (scale: %s)\n\n", sc.Name)
 	for _, r := range runners {
 		start := time.Now()
 		hit0, miss0 := runcache.Stats()
 		fmt.Fprintf(os.Stderr, "running %s (%s)...", r.ID, r.Name)
-		rep, err := r.Run(ctx, sc)
+		expSpan := rootSpan.Child(r.ID)
+		rep, err := r.Run(obs.ContextWithSpan(ctx, expSpan), sc)
+		expSpan.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\n%s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -219,6 +226,8 @@ func main() {
 			DiskHits: dh, DiskMisses: dm, DiskEvictions: de,
 			WallTimeSec: time.Since(runStart).Seconds(),
 		}
+		rootSpan.End()
+		m.Spans = []*obs.Span{rootSpan.Clone()}
 		if err := m.WriteFile(path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

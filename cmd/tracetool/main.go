@@ -20,6 +20,12 @@
 //	tracetool nocrec    -packets 2000 -rate 0.06 -out run.flt
 //	tracetool nocinfo   -in run.flt
 //	tracetool nocexport -in run.flt -out run.trace.json
+//	tracetool attr      -hetero -packets 2000 -out attr.trace.json
+//
+// attr runs a mesh with the always-on latency attribution plus the
+// opt-in per-hop recorder: it prints the exact per-packet causal account
+// (queue, vc_alloc, switch_alloc, credit, link, serialization) and can
+// export the hop stream for Perfetto.
 //
 // gen writes the flat HNTR v1 stream; record writes the chunked,
 // seekable HNTR2 format and accepts adversarial workload names
@@ -35,6 +41,7 @@ import (
 	"fmt"
 	"os"
 
+	"heteronoc/internal/core"
 	"heteronoc/internal/noc"
 	"heteronoc/internal/obs"
 	"heteronoc/internal/routing"
@@ -66,14 +73,81 @@ func main() {
 		nocinfo(os.Args[2:])
 	case "nocexport":
 		nocexport(os.Args[2:])
+	case "attr":
+		attrCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool gen|record|morph|info|head|seek-check|nocrec|nocinfo|nocexport [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool gen|record|morph|info|head|seek-check|nocrec|nocinfo|nocexport|attr [flags]")
 	os.Exit(2)
+}
+
+// attrCmd runs a mesh with the per-hop attribution recorder on and prints
+// the causal latency account; with -out it also writes the per-router hop
+// stream as Chrome trace-event JSON for Perfetto.
+func attrCmd(args []string) {
+	fs := flag.NewFlagSet("attr", flag.ExitOnError)
+	side := fs.Int("mesh", 8, "mesh side length (side x side routers)")
+	hetero := fs.Bool("hetero", false, "use the Diagonal+BL layout instead of the homogeneous baseline")
+	rate := fs.Float64("rate", 0.03, "injection rate in packets/node/cycle")
+	hotFrac := fs.Float64("hotspot-frac", 0.2, "fraction of traffic aimed at the center tile (0 = uniform random)")
+	packets := fs.Int("packets", 2000, "measured packets")
+	ring := fs.Int("ring", 65536, "attribution ring capacity in hop records")
+	seed := fs.Int64("seed", 42, "traffic seed")
+	out := fs.String("out", "", "output Chrome trace-event JSON (optional)")
+	fs.Parse(args)
+	l := core.NewBaseline(*side, *side)
+	if *hetero {
+		l = core.NewLayout(core.PlacementDiagonal, *side, *side, true)
+	}
+	net, err := l.Network()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec := noc.NewAttrTrace(*ring)
+	net.SetAttrRecorder(rec)
+	n := l.Mesh.NumTerminals()
+	var pat traffic.Pattern = traffic.UniformRandom{N: n}
+	if *hotFrac > 0 {
+		pat = traffic.Hotspot{N: n, Hot: (*side/2)*(*side) + *side/2, Frac: *hotFrac}
+	}
+	res, err := traffic.Run(net, traffic.RunConfig{
+		Pattern:        pat,
+		Process:        traffic.Bernoulli{P: *rate},
+		DataFlits:      l.DataPacketFlits(),
+		WarmupPackets:  *packets / 10,
+		MeasurePackets: *packets,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s  %s  avg latency %.1f cycles\n", l.Name, pat.Name(), res.AvgLatency)
+	for b, name := range noc.AttrBucketNames() {
+		fmt.Printf("  %-14s %8.2f cycles/packet\n", name, res.Attr[b])
+	}
+	fmt.Printf("  %-14s %8.2f (exact account when 0)\n", "residual", res.AttrResidual)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = rec.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d hop records to %s (%d overwritten in ring)\n", len(rec.Records()), *out, rec.Dropped())
+	}
 }
 
 func gen(args []string) {

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+
+	"heteronoc/internal/cmp/mem"
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+	"heteronoc/internal/par"
+	"heteronoc/internal/plot"
+	"heteronoc/internal/traffic"
+)
+
+// routerClass buckets routers for the attribution rollup: the paper's
+// big/small split, refined by position — mesh-edge routers (the
+// underutilized periphery of Figure 1), the corner MC-adjacent tiles
+// (where the memory controllers sit in the Table 2 baseline), and the
+// interior. A router belongs to exactly one class; precedence is
+// big > mc_adjacent > edge > interior.
+var breakdownClasses = []string{"big", "mc_adjacent", "edge", "interior"}
+
+// classifyRouters assigns each router of l to one breakdown class.
+func classifyRouters(l core.Layout) []string {
+	w, h := l.Mesh.Dims()
+	mc := map[int]bool{}
+	for _, t := range mem.Tiles(mem.PlacementCorners, w, h) {
+		mc[t] = true
+	}
+	out := make([]string, l.Mesh.NumRouters())
+	for r := range out {
+		x, y := r%w, r/w
+		switch {
+		case l.Class[r] == core.ClassBig:
+			out[r] = "big"
+		case mc[r]:
+			out[r] = "mc_adjacent"
+		case x == 0 || y == 0 || x == w-1 || y == h-1:
+			out[r] = "edge"
+		default:
+			out[r] = "interior"
+		}
+	}
+	return out
+}
+
+// contention sums the congestion-caused buckets of one rollup row: cycles
+// lost to VC allocation, switch allocation and credit starvation. Queue,
+// link and serialization time exist even in an empty network; these three
+// only exist under contention.
+func contention(row [noc.NumAttrBuckets]int64) int64 {
+	return row[noc.AttrVCAlloc] + row[noc.AttrSwitchAlloc] + row[noc.AttrCredit]
+}
+
+// LatencyBreakdown reports the causal latency attribution of Section 3's
+// designs under hotspot traffic: every cycle of every measured packet's
+// life charged to a cause (inject queueing, VC-allocation stall,
+// switch-allocation stall, credit starvation, link traversal,
+// serialization), per packet and rolled up per router class. The
+// per-packet buckets sum exactly to the measured average latency — the
+// residual row is the proof — so the table is an account, not an estimate.
+func LatencyBreakdown(ctx context.Context, sc Scale) (*Report, error) {
+	r := newReport("latency-breakdown", "Causal latency attribution (hotspot)")
+	// Moderate load with a hot destination near the mesh center: enough
+	// contention for the stall buckets to matter, below saturation so the
+	// account stays dominated by real traversal.
+	const rate = 0.03
+	hot := 4*8 + 4 // router (4,4): on the main diagonal, inside the center block
+	pat := traffic.Hotspot{N: 64, Hot: hot, Frac: 0.20}
+	layouts := []core.Layout{
+		core.NewBaseline(8, 8),
+		core.NewLayout(core.PlacementCenter, 8, 8, true),
+		core.NewLayout(core.PlacementDiagonal, 8, 8, true),
+	}
+	ress, err := par.MapCtx(ctx, len(layouts), func(ctx context.Context, i int) (traffic.RunResult, error) {
+		return runNet(ctx, layouts[i], pat, rate, sc, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	names := noc.AttrBucketNames()
+	r.Printf("### (a) Per-packet attribution (mean cycles)\n\n| config |")
+	for _, n := range names {
+		r.Printf(" %s |", n)
+	}
+	r.Printf(" residual | total |\n|---|")
+	for range names {
+		r.Printf("---|")
+	}
+	r.Printf("---|---|\n")
+	fig := &plot.BarChart{Title: "Latency attribution (hotspot)", YLabel: "cycles",
+		Series: names, Stacked: true}
+	for i, l := range layouts {
+		res := ress[i]
+		key := keyName(l.Name)
+		r.Printf("| %s |", l.Name)
+		vals := make([]float64, noc.NumAttrBuckets)
+		for b := noc.AttrBucket(0); b < noc.NumAttrBuckets; b++ {
+			r.Printf(" %.1f |", res.Attr[b])
+			r.Metrics[key+"_attr_"+b.String()] = res.Attr[b]
+			vals[b] = res.Attr[b]
+		}
+		r.Printf(" %.2f | %.1f |\n", res.AttrResidual, res.AvgLatency)
+		r.Metrics[key+"_attr_residual"] = res.AttrResidual
+		fig.Groups = append(fig.Groups, plot.BarGroup{Label: l.Name, Values: vals})
+	}
+	r.AddFigure("latency_breakdown_attr", fig.SVG())
+
+	// Per-router-class rollup: where in the mesh the contention cycles are
+	// absorbed. Per-router means, because the classes differ in size.
+	r.Printf("\n### (b) Contention cycles absorbed per router (by class)\n\n| config |")
+	for _, c := range breakdownClasses {
+		r.Printf(" %s |", c)
+	}
+	r.Printf(" big/edge ratio |\n|---|")
+	for range breakdownClasses {
+		r.Printf("---|")
+	}
+	r.Printf("---|\n")
+	for i, l := range layouts {
+		cls := classifyRouters(l)
+		sum := map[string]int64{}
+		cnt := map[string]int{}
+		for rt, row := range ress[i].RouterAttr {
+			sum[cls[rt]] += contention(row)
+			cnt[cls[rt]]++
+		}
+		key := keyName(l.Name)
+		r.Printf("| %s |", l.Name)
+		mean := map[string]float64{}
+		for _, c := range breakdownClasses {
+			if cnt[c] > 0 {
+				mean[c] = float64(sum[c]) / float64(cnt[c])
+			}
+			if cnt[c] == 0 {
+				r.Printf(" — |")
+				continue
+			}
+			r.Printf(" %.0f |", mean[c])
+			r.Metrics[key+"_contention_per_"+c+"_router"] = mean[c]
+		}
+		// The headline: interior/diagonal routers absorb the hotspot's
+		// contention; the periphery stays cheap. On the hetero layouts the
+		// "big" class is the absorber, on the baseline the interior is.
+		absorber := mean["big"]
+		if cnt["big"] == 0 {
+			absorber = mean["interior"]
+		}
+		ratio := 0.0
+		if mean["edge"] > 0 {
+			ratio = absorber / mean["edge"]
+		}
+		r.Printf(" %.1f |\n", ratio)
+		r.Metrics[key+"_absorber_vs_edge_contention"] = ratio
+	}
+	r.Printf("\nBuckets sum to the measured latency per packet (residual column; an exact account). Hotspot traffic concentrates the vc_alloc/switch_alloc/credit cycles on the routers around the hot tile — the big routers of the hetero placements — while edge routers stay near contention-free, which is the asymmetry the heterogeneous placements exploit.\n")
+	return r, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"heteronoc/internal/core"
+	"heteronoc/internal/noc"
+)
+
+func TestLatencyBreakdownAccountsExactly(t *testing.T) {
+	r, err := LatencyBreakdown(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []string{"baseline", "center_bl", "diagonal_bl"} {
+		// The attribution is an exact account: residual must be zero.
+		res, ok := r.Metrics[layout+"_attr_residual"]
+		if !ok {
+			t.Fatalf("missing residual metric for %s: %v", layout, r.Metrics)
+		}
+		if math.Abs(res) > 1e-9 {
+			t.Errorf("%s attribution residual %.6f cycles, want 0", layout, res)
+		}
+		for _, b := range noc.AttrBucketNames() {
+			v, ok := r.Metrics[layout+"_attr_"+b]
+			if !ok {
+				t.Fatalf("missing %s bucket for %s", b, layout)
+			}
+			if v < 0 {
+				t.Errorf("%s %s bucket negative: %f", layout, b, v)
+			}
+		}
+		// Hotspot traffic must actually produce contention; a run where the
+		// stall buckets are all zero proves nothing about absorption.
+		cont := r.Metrics[layout+"_attr_vc_alloc"] +
+			r.Metrics[layout+"_attr_switch_alloc"] + r.Metrics[layout+"_attr_credit"]
+		if cont <= 0 {
+			t.Errorf("%s saw no contention cycles under hotspot traffic", layout)
+		}
+	}
+	// The acceptance bar: the hot-region routers (big class on the
+	// heterogeneous layouts, interior on the baseline) absorb measurably
+	// more contention per router than the edge.
+	for _, layout := range []string{"baseline", "center_bl", "diagonal_bl"} {
+		ratio := r.Metrics[layout+"_absorber_vs_edge_contention"]
+		if ratio <= 1.5 {
+			t.Errorf("%s absorber/edge contention ratio %.2f, want > 1.5", layout, ratio)
+		}
+	}
+	if !strings.Contains(r.Markdown(), "Per-packet attribution") {
+		t.Error("report missing the attribution table")
+	}
+}
+
+func TestClassifyRoutersPartition(t *testing.T) {
+	for _, l := range []core.Layout{
+		core.NewBaseline(8, 8),
+		core.NewLayout(core.PlacementDiagonal, 8, 8, true),
+	} {
+		cls := classifyRouters(l)
+		counts := map[string]int{}
+		for _, c := range cls {
+			counts[c]++
+		}
+		total := 0
+		for _, c := range breakdownClasses {
+			total += counts[c]
+		}
+		if total != 64 {
+			t.Fatalf("%s: classes cover %d of 64 routers: %v", l.Name, total, counts)
+		}
+		if l.Name == "Baseline" && counts["big"] != 0 {
+			t.Errorf("baseline has no big routers, classified %d", counts["big"])
+		}
+		if l.Name != "Baseline" && counts["big"] != 16 {
+			t.Errorf("%s: big class has %d routers, want 16", l.Name, counts["big"])
+		}
+		// The corner MC tiles are their own class unless the placement made
+		// them big (the diagonal's endpoints are the corners).
+		wantMC := 4
+		if l.Name == "Diagonal+BL" {
+			wantMC = 0
+		}
+		if counts["mc_adjacent"] != wantMC {
+			t.Errorf("%s: mc_adjacent %d, want %d", l.Name, counts["mc_adjacent"], wantMC)
+		}
+	}
+}

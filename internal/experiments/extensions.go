@@ -34,6 +34,7 @@ func Extensions() []Runner {
 		{"degradation", "Graceful degradation under link failures", Degradation},
 		{"scale", "Latency scaling to 16x16 and 32x32 meshes", ScaleUp},
 		{"adversarial", "Synthesized adversarial workloads (hotspot, MC incast, ...)", Adversarial},
+		{"latency-breakdown", "Causal latency attribution under hotspot traffic", LatencyBreakdown},
 	}
 }
 

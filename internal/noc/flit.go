@@ -76,6 +76,16 @@ type Packet struct {
 	escaped  bool // diverted to the escape sub-network (table routing)
 	received int  // flits consumed at destination
 
+	// Attribution state (see attrib.go). headRecv is the cycle the head
+	// flit was consumed at the destination; hopVC/hopCredit are per-hop
+	// scratch counters settled into the atr* lifetime buckets when the
+	// head leaves each router.
+	headRecv         int64
+	atrVC            int64
+	atrSA            int64
+	atrCredit        int64
+	hopVC, hopCredit int32
+
 	// broken marks a packet that lost a flit to a fault (or lost its route)
 	// and is queued for purging; dropWhy records the first cause.
 	broken  bool

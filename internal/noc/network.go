@@ -92,6 +92,13 @@ type Network struct {
 	detail   DetailTracer
 	stats    Stats
 
+	// Causal latency attribution (attrib.go): the always-on counter path
+	// toggle, the opt-in per-hop recorder, and the terminal→router map used
+	// to charge queue/serialization cycles to endpoint routers at sink time.
+	atrOn      bool
+	attrRec    AttrRecorder
+	termRouter []int32
+
 	// Intra-cycle sharding (see shard.go). directFx is the always-present
 	// sequential effect sink; pool and shards exist only when sharding is
 	// enabled via Config.ShardWorkers or SetShardWorkers.
@@ -202,10 +209,13 @@ func New(cfg Config) (*Network, error) {
 	}
 	// Network interfaces.
 	n.nis = make([]ni, topo.NumTerminals())
+	n.termRouter = make([]int32, topo.NumTerminals())
+	n.atrOn = true
 	for t := range n.nis {
 		q := &n.nis[t]
 		q.term = t
 		r, p := topo.TerminalRouter(t)
+		n.termRouter[t] = int32(r)
 		down := cfg.Routers[r]
 		q.up = outputPort{
 			router:      -1,
@@ -445,11 +455,25 @@ func (n *Network) sink(f Flit) {
 	n.stats.FlitsReceived++
 	p := f.Pkt
 	p.received++
+	if n.atrOn && f.Kind.IsHead() {
+		p.headRecv = n.cycle
+	}
 	if f.Kind.IsTail() {
 		if p.received != p.NumFlits {
 			panic(fmt.Sprintf("noc: packet %d tail with %d/%d flits received", p.ID, p.received, p.NumFlits))
 		}
 		p.RecvCycle = n.cycle
+		if n.atrOn && p.headRecv > 0 {
+			// Endpoint rollups: NI queue wait plus the NI wire cycle charge
+			// to the source router, body-drain serialization to the
+			// destination router. sink runs in the sequential deliver phase,
+			// so these cross-router writes are race free under sharding.
+			src := &n.routers[n.termRouter[p.Src]]
+			src.atr[AttrQueue] += p.InjectCycle - p.CreateCycle
+			src.atr[AttrLink]++
+			dst := &n.routers[n.termRouter[p.Dst]]
+			dst.atr[AttrSerialization] += n.cycle - p.headRecv
+		}
 		n.trace(EvEject, p.ID, -1)
 		n.stats.recordPacket(p)
 		if n.onPacket != nil {
@@ -632,6 +656,9 @@ func (n *Network) routeAndAllocate(lo, hi int, fx *tickFx) {
 					}
 					vc.waitCycles++
 					rt.arbOps++
+					if n.atrOn {
+						p.hopVC++ // one lost VC-allocation cycle at this hop
+					}
 					if n.escaper != nil && !p.escaped && int(vc.waitCycles) > n.escaper.EscapeThreshold() {
 						p.escaped = true
 						n.trace(EvEscape, p.ID, r)
@@ -787,9 +814,22 @@ func (n *Network) switchAllocate(lo, hi int, fx *tickFx) {
 						continue
 					}
 					if !rt.out[vc.outPort].creditOK(int(vc.outVC)) {
-						if n.detail != nil && iter == 0 {
-							n.detail.DetailEvent(Event{Cycle: n.cycle, Kind: EvCreditStall,
-								Packet: vc.cur.ID, Router: r, Port: vc.outPort, VC: vc.outVC})
+						if iter == 0 {
+							// Credits only decrease within switchAllocate, so
+							// an iteration-0 failure means no iteration can
+							// send this VC this cycle: count the backpressure
+							// cycle exactly once, and only against a head at
+							// the buffer front (body flits stall with their
+							// head's hop accounting).
+							if n.atrOn {
+								if hf := vc.buf.peek(); hf.Kind.IsHead() {
+									hf.Pkt.hopCredit++
+								}
+							}
+							if n.detail != nil {
+								n.detail.DetailEvent(Event{Cycle: n.cycle, Kind: EvCreditStall,
+									Packet: vc.cur.ID, Router: r, Port: vc.outPort, VC: vc.outVC})
+							}
 						}
 						continue
 					}
@@ -847,6 +887,9 @@ func (n *Network) sendFlit(rt *router, inPort int, vc *inVC, out *outputPort, fx
 	f := vc.buf.pop()
 	if vc.buf.count > 0 {
 		vc.headArrive = vc.buf.buf[vc.buf.head].arrive
+	}
+	if n.atrOn && f.Kind.IsHead() {
+		n.settleAttrHop(rt, &f)
 	}
 	ip := &rt.in[inPort]
 	ip.flits--

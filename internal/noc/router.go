@@ -198,6 +198,10 @@ type router struct {
 	bufWrites int64
 	xbarFlits int64
 	arbOps    int64
+	// atr rolls up attribution cycles charged to this router (attrib.go):
+	// contention buckets where the head stalled here, queue wait and the NI
+	// wire at the source router, serialization at the destination router.
+	atr [NumAttrBuckets]int64
 }
 
 // occupied returns the number of buffered flits across all input VCs.

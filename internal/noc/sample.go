@@ -138,8 +138,11 @@ func liveLinkCount(rt *router) int {
 }
 
 // Tick is the per-cycle hook; it captures a sample on stride boundaries.
+// A tick at or before the last sampled cycle (a re-attached or restored
+// hook replaying a boundary) is ignored, so each window edge is attributed
+// exactly once.
 func (s *Sampler) Tick(cycle int64) {
-	if cycle%s.stride != 0 {
+	if cycle%s.stride != 0 || cycle <= s.lastCycle {
 		return
 	}
 	n := s.n

@@ -43,8 +43,8 @@ const (
 	// flag byte and a quiet output port one flag varint, so a quiesced
 	// 32x32 (1024-router) checkpoint stays small instead of spelling out
 	// thousands of pristine credit arrays and empty event queues.
-	netSnapshotVersion = 2
-	relSnapshotVersion = 2
+	netSnapshotVersion = 3
+	relSnapshotVersion = 3
 )
 
 // outputPort snapshot flag bits (format v2). Each bit gates a group of
@@ -190,6 +190,9 @@ func (n *Network) encode(w *ckpt.Writer, codec PayloadCodec) error {
 		w.I64(rt.bufWrites)
 		w.I64(rt.xbarFlits)
 		w.I64(rt.arbOps)
+		for _, v := range rt.atr {
+			w.I64(v)
+		}
 		for pi := range rt.in {
 			ip := &rt.in[pi]
 			w.Int(ip.rr)
@@ -348,6 +351,12 @@ func (n *Network) collectPackets(w *ckpt.Writer, codec PayloadCodec) ([]*Packet,
 		w.Int(p.received)
 		w.Bool(p.broken)
 		w.U64(uint64(p.dropWhy))
+		w.I64(p.headRecv)
+		w.I64(p.atrVC)
+		w.I64(p.atrSA)
+		w.I64(p.atrCredit)
+		w.Int(int(p.hopVC))
+		w.Int(int(p.hopCredit))
 		if p.Payload == nil {
 			w.Bool(false)
 			continue
@@ -591,6 +600,9 @@ func (n *Network) encodeStats(w *ckpt.Writer) {
 	} {
 		w.I64(v)
 	}
+	for _, v := range s.attr {
+		w.I64(v)
+	}
 	classes := s.Classes()
 	w.Int(len(classes))
 	for _, c := range classes {
@@ -627,6 +639,9 @@ func (n *Network) decodeStats(r *ckpt.Reader) error {
 		&s.BlockingLatency, &s.HopsSum, &s.measureStart,
 	} {
 		*p = r.I64()
+	}
+	for b := range s.attr {
+		s.attr[b] = r.I64()
 	}
 	nc := r.Int()
 	if r.Err() != nil {
@@ -795,6 +810,12 @@ func (n *Network) decode(r *ckpt.Reader, codec PayloadCodec, h ckpt.Header) erro
 		p.received = r.Int()
 		p.broken = r.Bool()
 		p.dropWhy = DropReason(r.U64())
+		p.headRecv = r.I64()
+		p.atrVC = r.I64()
+		p.atrSA = r.I64()
+		p.atrCredit = r.I64()
+		p.hopVC = int32(r.Int())
+		p.hopCredit = int32(r.Int())
 		if hasPayload := r.Bool(); hasPayload {
 			if codec == nil {
 				return fmt.Errorf("noc: checkpoint packet %d carries a payload but no PayloadCodec was given", p.ID)
@@ -868,6 +889,9 @@ func (n *Network) decode(r *ckpt.Reader, codec PayloadCodec, h ckpt.Header) erro
 		rt.bufWrites = r.I64()
 		rt.xbarFlits = r.I64()
 		rt.arbOps = r.I64()
+		for b := range rt.atr {
+			rt.atr[b] = r.I64()
+		}
 		for pi := range rt.in {
 			ip := &rt.in[pi]
 			ip.rr = r.Int()

@@ -40,6 +40,10 @@ type Stats struct {
 	// latHist is a 1-cycle-resolution latency histogram feeding Percentile.
 	latHist []int64
 
+	// attr sums the causal attribution buckets (attrib.go) over measured
+	// packets. Observation-only: excluded from Fingerprint.
+	attr [NumAttrBuckets]int64
+
 	measureStart int64
 }
 
@@ -90,6 +94,14 @@ func (s *Stats) recordPacket(p *Packet) {
 	s.TransferLatency += transfer
 	s.BlockingLatency += blocking
 	s.HopsSum += int64(p.Hops)
+	if p.headRecv > 0 {
+		// headRecv is only stamped while attribution is enabled, so this
+		// gate keeps the bucket sums exact when it was toggled mid-run.
+		a := p.Attribution()
+		for b := AttrBucket(0); b < NumAttrBuckets; b++ {
+			s.attr[b] += a[b]
+		}
+	}
 	if s.classes == nil {
 		s.classes = make(map[int]*ClassStats)
 	}
@@ -166,6 +178,7 @@ func (n *Network) ResetStats() {
 	for r := range n.routers {
 		rt := &n.routers[r]
 		rt.bufOccSum, rt.bufReads, rt.bufWrites, rt.xbarFlits, rt.arbOps = 0, 0, 0, 0, 0
+		rt.atr = [NumAttrBuckets]int64{}
 		for _, op := range rt.out {
 			op.flitsSent, op.busyCycles, op.combineCycles = 0, 0, 0
 		}

@@ -49,6 +49,10 @@ type Manifest struct {
 	DiskEvictions int64 `json:"runcache_disk_evictions,omitempty"`
 	// WallTimeSec is elapsed wall time, nondeterministic by nature.
 	WallTimeSec float64 `json:"wall_time_sec"`
+	// Spans is the run's phase span tree (diagnostics). Span durations are
+	// wall clock, so Canonical excludes spans entirely: manifest identity
+	// never depends on timing.
+	Spans []*Span `json:"spans,omitempty"`
 }
 
 // Canonical renders the deterministic identity form: indented JSON with
@@ -58,6 +62,7 @@ func (m *Manifest) Canonical() []byte {
 	c := *m
 	c.WallTimeSec = 0
 	c.DiskHits, c.DiskMisses, c.DiskEvictions = 0, 0, 0
+	c.Spans = nil
 	// Deep-copy and sort the slices JSON would otherwise render in caller
 	// order; run order is part of the recipe, so Experiments stays as-is,
 	// but Seeds are a set.

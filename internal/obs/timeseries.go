@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // TimeSeries is a cycle-indexed table of sampled metrics: one row per
@@ -23,13 +24,39 @@ func NewTimeSeries(columns ...string) *TimeSeries {
 }
 
 // Append adds one sample row. The row is copied; len(row) must equal the
-// column count.
+// column count. Cycles must be non-decreasing: a decreasing cycle panics
+// (it would corrupt the window index), and a sample landing exactly on the
+// previous sample's cycle — a window edge — deterministically replaces
+// that row rather than producing two rows for one window.
 func (ts *TimeSeries) Append(cycle int64, row []float64) {
 	if len(row) != len(ts.Columns) {
 		panic(fmt.Sprintf("obs: timeseries row has %d values for %d columns", len(row), len(ts.Columns)))
 	}
+	if n := len(ts.Cycles); n > 0 {
+		switch last := ts.Cycles[n-1]; {
+		case cycle < last:
+			panic(fmt.Sprintf("obs: timeseries cycle %d appended after %d", cycle, last))
+		case cycle == last:
+			ts.Rows[n-1] = append(ts.Rows[n-1][:0], row...)
+			return
+		}
+	}
 	ts.Cycles = append(ts.Cycles, cycle)
 	ts.Rows = append(ts.Rows, append([]float64(nil), row...))
+}
+
+// WindowAt returns the index of the sample window containing cycle under
+// the half-open convention (prev, cur]: window i spans (Cycles[i-1],
+// Cycles[i]], and window 0 everything up to and including Cycles[0]. A
+// cycle landing exactly on a window edge therefore always belongs to the
+// window it closes, never the one it opens. Returns -1 for cycles past the
+// last sample.
+func (ts *TimeSeries) WindowAt(cycle int64) int {
+	i := sort.Search(len(ts.Cycles), func(i int) bool { return ts.Cycles[i] >= cycle })
+	if i == len(ts.Cycles) {
+		return -1
+	}
+	return i
 }
 
 // Len returns the number of sample rows.

@@ -47,7 +47,7 @@ const (
 	// diskVersion is folded into every file name. Bump it whenever the
 	// envelope or any cached value's encoding changes; stale entries then
 	// hash to different names and age out via the LRU cap.
-	diskVersion = 1
+	diskVersion = 2 // v2: traffic.RunResult gained attribution fields
 	diskExt     = ".rc"
 )
 

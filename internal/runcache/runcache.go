@@ -44,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"heteronoc/internal/obs"
 	"heteronoc/internal/reqstat"
 	"heteronoc/internal/suspend"
 )
@@ -164,13 +165,23 @@ func For[T any](key string, fn func() (T, error)) (T, error) {
 }
 
 // ForCtx is For with a context (see DoCtx for the cancellation contract).
+// When the context carries a request span, the cache-miss path records
+// "cache.disk" (the disk-tier probe) and "execute" (the recipe run) child
+// spans, so a served request's timing decomposes into cache tiers vs
+// simulation.
 func ForCtx[T any](ctx context.Context, key string, fn func(ctx context.Context) (T, error)) (T, error) {
 	v, err := DoCtx(ctx, key, func(ctx context.Context) (any, error) {
-		if v, ok := diskLoad[T](key); ok {
+		span := obs.SpanFrom(ctx)
+		disk := span.Child("cache.disk")
+		v, ok := diskLoad[T](key)
+		disk.End()
+		if ok {
 			return v, nil
 		}
 		reqstat.Exec(ctx)
-		v, err := fn(ctx)
+		exec := span.Child("execute")
+		v, err := fn(obs.ContextWithSpan(ctx, exec))
+		exec.End()
 		if err == nil {
 			diskStore(key, v)
 		}

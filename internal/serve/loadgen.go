@@ -46,6 +46,18 @@ type SLOReport struct {
 	WarmHits int
 	HitRatio float64
 
+	// TimingMS is the mean server-side phase decomposition in milliseconds
+	// across successes, keyed by span path ("queue", "run", "run.execute",
+	// "run.cache.disk", "total") — the server's causal account of where
+	// request time went, as opposed to the client-observed percentiles.
+	TimingMS map[string]float64
+	// TailTimingMS is the same decomposition averaged over the slowest 1%
+	// of successes (at least one request): the phases behind P99MS. A tail
+	// dominated by "queue" is an admission problem; one dominated by
+	// "run.execute" is simulation cost; near-zero everything with a large
+	// client latency points at transport or retries.
+	TailTimingMS map[string]float64
+
 	// Errors histograms terminal failures by message.
 	Errors map[string]int
 }
@@ -77,6 +89,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*SLOReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		samples   []timingSample
 		rep       = &SLOReport{Requests: cfg.Requests, Errors: map[string]int{}}
 	)
 	idx := make(chan int)
@@ -103,6 +116,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*SLOReport, error) {
 				} else {
 					rep.Succeeded++
 					latencies = append(latencies, ms)
+					samples = append(samples, timingSample{ms: ms, timing: resp.Timing})
 					if resp.FromCache {
 						rep.WarmHits++
 					}
@@ -132,7 +146,39 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*SLOReport, error) {
 	if rep.Succeeded > 0 {
 		rep.HitRatio = float64(rep.WarmHits) / float64(rep.Succeeded)
 	}
+	if len(samples) > 0 {
+		rep.TimingMS = meanTiming(samples)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].ms > samples[j].ms })
+		tail := len(samples) / 100
+		if tail < 1 {
+			tail = 1
+		}
+		rep.TailTimingMS = meanTiming(samples[:tail])
+	}
 	return rep, nil
+}
+
+// timingSample pairs one successful request's client-observed latency with
+// the server's span decomposition, so the tail can be sliced by latency.
+type timingSample struct {
+	ms     float64
+	timing map[string]float64
+}
+
+// meanTiming averages the per-request span decompositions; requests whose
+// response carried no timing (older server) count as all-zero so the means
+// stay comparable across mixed fleets.
+func meanTiming(samples []timingSample) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range samples {
+		for k, v := range s.timing {
+			out[k] += v
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(samples))
+	}
+	return out
 }
 
 // errKey compresses an error into a stable histogram bucket.
@@ -155,6 +201,17 @@ func (r *SLOReport) String() string {
 	fmt.Fprintf(&b, "elapsed:    %.2fs (%.1f req/s)\n", r.Elapsed.Seconds(), r.Throughput)
 	fmt.Fprintf(&b, "latency:    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", r.P50MS, r.P95MS, r.P99MS)
 	fmt.Fprintf(&b, "warm hits:  %d (%.0f%% of successes)\n", r.WarmHits, 100*r.HitRatio)
+	if len(r.TimingMS) > 0 {
+		b.WriteString("server phases (mean / slowest 1%):\n")
+		keys := make([]string, 0, len(r.TimingMS))
+		for k := range r.TimingMS {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-16s %8.1fms %8.1fms\n", k, r.TimingMS[k], r.TailTimingMS[k])
+		}
+	}
 	if len(r.Errors) > 0 {
 		keys := make([]string, 0, len(r.Errors))
 		for k := range r.Errors {
@@ -172,7 +229,7 @@ func (r *SLOReport) String() string {
 // Metrics returns the report's headline numbers keyed for bench.sh
 // (serve_p50_ms, serve_p99_ms, serve_hit_ratio, ...).
 func (r *SLOReport) Metrics() map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		"serve_p50_ms":     r.P50MS,
 		"serve_p95_ms":     r.P95MS,
 		"serve_p99_ms":     r.P99MS,
@@ -181,4 +238,11 @@ func (r *SLOReport) Metrics() map[string]float64 {
 		"serve_failed":     float64(r.Failed),
 		"serve_retries":    float64(r.Retries),
 	}
+	// Span decomposition of the tail: where the p99 budget actually went.
+	for _, k := range []string{"queue", "run", "run.execute", "run.cache.disk"} {
+		if v, ok := r.TailTimingMS[k]; ok {
+			m["serve_tail_"+strings.NewReplacer(".", "_").Replace(k)+"_ms"] = v
+		}
+	}
+	return m
 }

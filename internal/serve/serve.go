@@ -74,6 +74,11 @@ type Response struct {
 	Fingerprint string             `json:"fingerprint"`
 	Cache       CacheStats         `json:"cache"`
 	ElapsedMS   float64            `json:"elapsed_ms"`
+	// Timing decomposes the request's wall time into span phases
+	// (milliseconds, dotted paths like "queue", "run.execute"): the data a
+	// nocload SLO report uses to split p99 into queue wait vs cache miss vs
+	// simulation time.
+	Timing map[string]float64 `json:"timing_ms,omitempty"`
 	// FromCache is true when the request ran zero simulation cycles and
 	// zero recipe executions — answered entirely from memoized results.
 	FromCache bool `json:"from_cache"`
@@ -169,9 +174,22 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	col    *reqstat.Collector
+	// span is the request's root span; qspan times the admission queue
+	// (started at enqueue, ended when a worker picks the job up).
+	span  *obs.Span
+	qspan *obs.Span
 	// done is buffered so a worker's send never blocks on a vanished
 	// client.
 	done chan jobResult
+}
+
+// finish closes the job's span tree with an outcome tag and publishes it
+// to the server's span log.
+func (j *job) finish(s *Server, outcome string) {
+	j.qspan.End()
+	j.span.SetAttr("outcome", outcome)
+	j.span.End()
+	s.spans.Add(j.span)
 }
 
 type jobResult struct {
@@ -203,7 +221,8 @@ type Server struct {
 	lastProg   int64
 	lastChange time.Time
 
-	lat *latencyTracker
+	lat   *latencyTracker
+	spans *obs.SpanLog
 
 	mRequests  map[int]*obs.Counter
 	mPanics    *obs.Counter
@@ -224,6 +243,7 @@ func New(cfg Config) *Server {
 		reg:   obs.NewRegistry(),
 		jobs:  map[*job]struct{}{},
 		lat:   newLatencyTracker(1024),
+		spans: obs.NewSpanLog(256),
 	}
 	s.lastChange = time.Now()
 
@@ -254,6 +274,7 @@ func New(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/spans", s.handleSpans)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
@@ -303,20 +324,26 @@ func (s *Server) runJob(j *job) {
 		s.busy.Add(-1)
 		if p := recover(); p != nil {
 			s.mPanics.Inc()
+			j.finish(s, "panic")
 			j.done <- jobResult{err: &PanicError{Value: fmt.Sprint(p)}}
 		}
 	}()
 	if err := j.ctx.Err(); err != nil {
 		// The client vanished while the job sat queued; don't burn a
 		// worker on it.
+		j.finish(s, "cancelled_queued")
 		j.done <- jobResult{err: err}
 		return
 	}
+	j.qspan.End()
 	s.cfg.Chaos.Hit(chaos.PointWorkerPanic)
 	_, resumes0 := s.sus.Stats()
 	start := time.Now()
-	rep, err := j.runner.Run(j.ctx, j.scale)
+	run := j.span.Child("run")
+	rep, err := j.runner.Run(obs.ContextWithSpan(j.ctx, run), j.scale)
+	run.End()
 	if err != nil {
+		j.finish(s, "error")
 		j.done <- jobResult{err: err}
 		return
 	}
@@ -344,6 +371,12 @@ func (s *Server) runJob(j *job) {
 	if resp.FromCache {
 		s.mWarm.Inc()
 	}
+	outcome := "ok"
+	if resp.FromCache {
+		outcome = "ok_cached"
+	}
+	j.finish(s, outcome)
+	resp.Timing = j.span.Timing()
 	s.lat.record(resp.ElapsedMS)
 	j.done <- jobResult{resp: resp}
 }
@@ -468,6 +501,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx = reqstat.WithCollector(ctx, col)
 	ctx = suspend.WithController(ctx, s.sus)
 	ctx = chaos.WithContext(ctx, s.cfg.Chaos)
+	span := obs.NewSpan("request")
+	span.SetAttr("experiment", req.Experiment)
+	span.SetAttr("scale", req.Scale)
+	span.SetAttr("tenant", req.Tenant)
+	ctx = obs.ContextWithSpan(ctx, span)
 
 	j := &job{
 		tenant: req.Tenant,
@@ -477,6 +515,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx:    ctx,
 		cancel: cancel,
 		col:    col,
+		span:   span,
+		qspan:  span.Child("queue"),
 		done:   make(chan jobResult, 1),
 	}
 	// Track from admission so a shutdown hard-cancel reaches queued jobs,
@@ -551,6 +591,13 @@ func (s *Server) writeError(w http.ResponseWriter, code int, p ErrorPayload) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(p)
+}
+
+// handleSpans serves the most recent request span trees as JSON — the
+// request-level complement of the per-packet attribution counters.
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteJSON(w)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -15,6 +15,7 @@ import (
 
 	"heteronoc/internal/chaos"
 	"heteronoc/internal/experiments"
+	"heteronoc/internal/obs"
 	"heteronoc/internal/reqstat"
 	"heteronoc/internal/suspend"
 )
@@ -506,13 +507,95 @@ func TestLoadGenSLOReport(t *testing.T) {
 		t.Fatalf("latency percentiles inconsistent: p50=%.2f p99=%.2f", rep.P50MS, rep.P99MS)
 	}
 	m := rep.Metrics()
-	for _, k := range []string{"serve_p50_ms", "serve_p99_ms", "serve_hit_ratio"} {
+	for _, k := range []string{"serve_p50_ms", "serve_p99_ms", "serve_hit_ratio", "serve_tail_queue_ms"} {
 		if _, ok := m[k]; !ok {
 			t.Fatalf("SLO metrics missing %s", k)
 		}
 	}
 	if !strings.Contains(rep.String(), "latency:") {
 		t.Fatal("report text rendering incomplete")
+	}
+	// Every request carried a span decomposition; the tail slice averages
+	// the slowest 1% (at least one request), so both maps must be populated
+	// and internally consistent.
+	for _, timing := range []map[string]float64{rep.TimingMS, rep.TailTimingMS} {
+		for _, k := range []string{"total", "queue", "run"} {
+			if _, ok := timing[k]; !ok {
+				t.Fatalf("timing decomposition missing %q: %v", k, timing)
+			}
+		}
+	}
+	if !strings.Contains(rep.String(), "server phases") {
+		t.Fatal("report text omits the phase decomposition")
+	}
+}
+
+func TestSpansEndpointAndResponseTiming(t *testing.T) {
+	sc := testScale(t, 2000)
+	srv := New(Config{Workers: 2, Scales: map[string]experiments.Scale{"test": sc}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	req := Request{Experiment: "fig1", Scale: "test", Tenant: "t0"}
+	code, _, body := post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("cold run: %d %s", code, body)
+	}
+	cold := decodeResponse(t, body)
+	// A cold run simulates, so its decomposition includes the execute phase
+	// under the run span (cache probe + recipe execution).
+	for _, key := range []string{"total", "queue", "run", "run.execute"} {
+		if _, ok := cold.Timing[key]; !ok {
+			t.Errorf("cold response timing missing %q: %v", key, cold.Timing)
+		}
+	}
+	code, _, body = post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("warm run: %d %s", code, body)
+	}
+	warm := decodeResponse(t, body)
+	// A warm repeat is served from the memo cache: no execute span.
+	if _, ok := warm.Timing["run.execute"]; ok {
+		t.Errorf("warm response claims simulation time: %v", warm.Timing)
+	}
+	if _, ok := warm.Timing["total"]; !ok {
+		t.Errorf("warm response timing missing total: %v", warm.Timing)
+	}
+
+	res, err := http.Get(ts.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc struct {
+		Spans []*obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode /spans: %v", err)
+	}
+	if len(doc.Spans) < 2 {
+		t.Fatalf("/spans retained %d spans, want >= 2", len(doc.Spans))
+	}
+	outcomes := map[string]int{}
+	for _, s := range doc.Spans {
+		if s.Name != "request" {
+			t.Errorf("root span named %q, want request", s.Name)
+		}
+		if s.Attrs["experiment"] != "fig1" || s.Attrs["tenant"] != "t0" {
+			t.Errorf("span attrs incomplete: %v", s.Attrs)
+		}
+		outcomes[s.Attrs["outcome"]]++
+		names := map[string]bool{}
+		for _, c := range s.Children {
+			names[c.Name] = true
+		}
+		if !names["queue"] || !names["run"] {
+			t.Errorf("span %v missing queue/run children", names)
+		}
+	}
+	if outcomes["ok"] == 0 || outcomes["ok_cached"] == 0 {
+		t.Fatalf("expected one cold and one cached outcome, got %v", outcomes)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"heteronoc/internal/chaos"
 	"heteronoc/internal/noc"
+	"heteronoc/internal/obs"
 	"heteronoc/internal/reqstat"
 	"heteronoc/internal/suspend"
 )
@@ -59,6 +60,16 @@ type RunResult struct {
 	// Latency percentiles in cycles (tail behavior; the jitter story of
 	// Section 6 shows up here too).
 	P50, P95, P99 float64
+	// Attr is the mean per-packet causal latency attribution in cycles
+	// over the measurement window, indexed by noc.AttrBucket order (queue,
+	// vc_alloc, switch_alloc, credit, link, serialization). The buckets sum
+	// to AvgLatency up to AttrResidual, which is zero whenever attribution
+	// stayed enabled for the whole run.
+	Attr         [noc.NumAttrBuckets]float64
+	AttrResidual float64
+	// RouterAttr is the per-router attribution rollup in raw cycles,
+	// indexed [router][bucket] — the input of per-router-class breakdowns.
+	RouterAttr [][noc.NumAttrBuckets]int64
 }
 
 // Run drives net with the configured traffic until the measurement quota is
@@ -97,12 +108,15 @@ func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, er
 	}
 	sus := suspend.FromContext(ctx)
 	cha := chaos.FromContext(ctx)
+	span := obs.SpanFrom(ctx)
 
 	phase := phaseWarmup
 	start := net.Cycle()
 	if cfg.SuspendKey != "" {
 		if data, ok := sus.Load(cfg.SuspendKey); ok {
+			rs := span.Child("resume")
 			p, ps, err := resumeRun(net, cfg, src, data)
+			rs.End()
 			if err != nil {
 				// The network may be partially restored and cannot be
 				// stepped; drop the checkpoint so the caller's retry
@@ -139,11 +153,14 @@ func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, er
 		// Suspend is tested before plain cancellation so a shutting-down
 		// server checkpoints in-flight runs rather than discarding them.
 		if cfg.SuspendKey != "" && sus.Requested() {
+			ss := span.Child("suspend.save")
 			if data, err := snapshotRun(net, cfg, src, ph, phStart); err == nil {
 				if err := sus.Save(cfg.SuspendKey, data); err == nil {
+					ss.End()
 					return suspend.ErrSuspended
 				}
 			}
+			ss.End()
 			// Snapshot or store failed (unsupported process, no directory):
 			// fall through — the run continues until its context stops it.
 		}
@@ -161,12 +178,15 @@ func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, er
 
 	// Warmup phase (skipped when resuming into measurement).
 	if phase == phaseWarmup {
+		ws := span.Child("warmup")
 		for net.Stats().PacketsInjected < int64(cfg.WarmupPackets) && net.Cycle()-start < cfg.MaxCycles {
 			inject()
 			if err := step(phaseWarmup, start); err != nil {
+				ws.End()
 				return RunResult{}, err
 			}
 		}
+		ws.End()
 		reqstat.AddCycles(ctx, int64(sinceCheck))
 		sinceCheck = 0
 		net.ResetStats()
@@ -174,12 +194,15 @@ func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, er
 	}
 	// Measurement phase: keep offering load until the quota of measured
 	// packets has been received or the cycle budget runs out.
+	ms := span.Child("measure")
 	for net.Stats().PacketsReceived < int64(cfg.MeasurePackets) && net.Cycle()-start < cfg.MaxCycles {
 		inject()
 		if err := step(phaseMeasure, start); err != nil {
+			ms.End()
 			return RunResult{}, err
 		}
 	}
+	ms.End()
 	reqstat.AddCycles(ctx, int64(sinceCheck))
 	if cfg.SuspendKey != "" {
 		sus.Clear(cfg.SuspendKey)
@@ -195,6 +218,14 @@ func RunCtx(ctx context.Context, net *noc.Network, cfg RunConfig) (RunResult, er
 	}
 	res.QueuingLatency, res.BlockingLatency, res.TransferLatency = s.Breakdown()
 	res.P50, res.P95, res.P99 = s.Percentile(0.50), s.Percentile(0.95), s.Percentile(0.99)
+	if s.PacketsReceived > 0 {
+		attr := s.Attribution()
+		for b, v := range attr {
+			res.Attr[b] = float64(v) / float64(s.PacketsReceived)
+		}
+		res.AttrResidual = float64(s.AttrResidual()) / float64(s.PacketsReceived)
+	}
+	res.RouterAttr = net.RouterAttribution()
 	if s.Cycles > 0 {
 		res.AcceptedRate = float64(s.PacketsReceived) / float64(s.Cycles) / float64(terms)
 	}
@@ -214,6 +245,10 @@ func numTerminals(p Pattern) int {
 		return v.Grid.NumTerminals()
 	case Transpose:
 		return v.Grid.NumTerminals()
+	case Hotspot:
+		return v.N
+	case Incast:
+		return v.N
 	}
 	return 0
 }

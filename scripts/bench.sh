@@ -45,6 +45,11 @@
 # (cost of registry + attached time-series sampler), so obs-layer
 # regressions are as visible as kernel regressions.
 #
+# The always-on latency attribution path is bounded the same way:
+# "attribution_overhead_pct" compares BenchmarkNetworkCycle (attribution
+# on, its default) against BenchmarkNetworkCycleNoAttr (counters off) —
+# the budget is 5%, checked in smoke mode.
+#
 # BENCH_noc.json is a JSON array, oldest entry first, one compact object
 # per line. A legacy single-object file (the pre-history format) is folded
 # in as the first entry on the next run.
@@ -77,10 +82,11 @@ trap 'rm -f "$run"' EXIT
 
 if [ "$smoke" = 1 ]; then
 	go test -run '^$' \
-		-bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleTraced$|BenchmarkNetworkCycleSampled$|BenchmarkCMPCycle$' \
+		-bench 'BenchmarkNetworkCycle$|BenchmarkNetworkCycleNoAttr$|BenchmarkNetworkCycleTraced$|BenchmarkNetworkCycleSampled$|BenchmarkCMPCycle$' \
 		-benchtime 2000x -count 5 -benchmem . | tee "$run"
 	awk '
 	/^BenchmarkNetworkCycle-|^BenchmarkNetworkCycle /        { base = base " " $3 }
+	/^BenchmarkNetworkCycleNoAttr/                           { na = na " " $3 }
 	/^BenchmarkNetworkCycleTraced/                           { tr = tr " " $3 }
 	/^BenchmarkNetworkCycleSampled/                          { sm = sm " " $3 }
 	function median(s,   v, m, i, j, t) {
@@ -96,9 +102,13 @@ if [ "$smoke" = 1 ]; then
 		if (b <= 0) { print "smoke: no baseline benchmark output" > "/dev/stderr"; exit 1 }
 		trp = 100 * (median(tr) - b) / b
 		smp = 100 * (median(sm) - b) / b
-		printf "tracer_overhead_pct  %.1f (bound 200)\n", trp
-		printf "metrics_overhead_pct %.1f (bound 25)\n", smp
+		nab = median(na)
+		atp = (nab > 0) ? 100 * (b - nab) / nab : 0
+		printf "tracer_overhead_pct       %.1f (bound 200)\n", trp
+		printf "metrics_overhead_pct      %.1f (bound 25)\n", smp
+		printf "attribution_overhead_pct  %.1f (bound 5)\n", atp
 		if (trp > 200 || smp > 25) { print "smoke: observability overhead out of bounds" > "/dev/stderr"; exit 1 }
+		if (atp > 5) { print "smoke: attribution overhead above 5% budget" > "/dev/stderr"; exit 1 }
 	}' "$run"
 	exit 0
 fi
@@ -215,6 +225,9 @@ END {
 		if (base > 0 && "BenchmarkNetworkCycleSampled" in ns)
 			printf "\"metrics_overhead_pct\": %.1f, ", \
 				100 * (median(ns["BenchmarkNetworkCycleSampled"]) - base) / base
+		if ("BenchmarkNetworkCycleNoAttr" in ns && median(ns["BenchmarkNetworkCycleNoAttr"]) > 0)
+			printf "\"attribution_overhead_pct\": %.1f, ", \
+				100 * (base - median(ns["BenchmarkNetworkCycleNoAttr"])) / median(ns["BenchmarkNetworkCycleNoAttr"])
 	}
 	printf "\"benchmarks\": ["
 	for (i = 1; i <= n; i++) {

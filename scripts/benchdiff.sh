@@ -1,0 +1,15 @@
+#!/bin/sh
+# benchdiff.sh — compare the two most recent BENCH_noc.json entries and
+# flag per-benchmark regressions beyond a threshold (default 20%).
+#
+# Informational by default: regressions are printed but the exit code
+# stays zero, so the CI step surfaces drift without blocking merges.
+# Forward flags to tighten it locally:
+#
+#   scripts/benchdiff.sh                      # report vs previous entry
+#   scripts/benchdiff.sh -threshold 10        # stricter bar
+#   scripts/benchdiff.sh -strict              # exit 1 on regressions
+#   scripts/benchdiff.sh -in other.json       # alternate history file
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"
