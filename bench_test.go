@@ -18,11 +18,13 @@ import (
 
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/core"
+	"heteronoc/internal/dse"
 	"heteronoc/internal/experiments"
 	"heteronoc/internal/fault"
 	"heteronoc/internal/noc"
 	"heteronoc/internal/obs"
 	"heteronoc/internal/routing"
+	"heteronoc/internal/runcache"
 	"heteronoc/internal/topology"
 	"heteronoc/internal/trace"
 	"heteronoc/internal/traffic"
@@ -625,5 +627,44 @@ func BenchmarkCMPWarmup(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.Warmup(8000)
+	}
+}
+
+// BenchmarkDSEGeneration measures the multi-objective search at its unit
+// of work: one small 4x4 search (initial population plus one bred
+// generation) per iteration. The seed is fixed, so the first iteration
+// pays for real probes and every later one is answered by runcache — the
+// reported cache_hit_ratio is the cross-run dedup rate the search design
+// banks on, and evals/s is the effective evaluation throughput including
+// those cache answers.
+func BenchmarkDSEGeneration(b *testing.B) {
+	runcache.Reset()
+	cfg := dse.SearchConfig{
+		Eval: dse.EvalConfig{
+			W: 4, H: 4, LinkRedist: true,
+			InjectionRate: 0.05, Packets: 300, Seed: 3,
+		},
+		MinBig: 4, MaxBig: 4,
+		PopSize: 8, Generations: 1,
+		Seed: 17,
+	}
+	execs0 := runcache.Execs()
+	totalEvals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Search(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty front")
+		}
+		totalEvals += res.Evals
+	}
+	b.StopTimer()
+	execs := runcache.Execs() - execs0
+	if totalEvals > 0 {
+		b.ReportMetric(float64(totalEvals)/b.Elapsed().Seconds(), "evals/s")
+		b.ReportMetric(float64(totalEvals-int(execs))/float64(totalEvals), "cache_hit_ratio")
 	}
 }

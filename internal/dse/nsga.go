@@ -1,0 +1,219 @@
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// NSGA-II machinery: constrained dominance, fast non-dominated sorting and
+// crowding distance. Everything here is deterministic — ties break on the
+// candidate index — because the frontier file must come out byte-identical
+// for a given seed regardless of worker count or wall-clock.
+
+// feasible reports whether a candidate satisfies the search constraints:
+// the probe must not saturate and the router area must fit the budget
+// (budget <= 0 means unconstrained).
+func feasible(c Candidate, areaBudget float64) bool {
+	if c.Saturated {
+		return false
+	}
+	return areaBudget <= 0 || c.AreaMM2 <= areaBudget+1e-9
+}
+
+// violation measures how badly an infeasible candidate misses the
+// constraints, so infeasible candidates still order usefully (Deb's
+// constrained-domination). A saturated probe keeps its measured latency as
+// the graded part of the penalty: among saturated placements, less-congested
+// ones order first, which is the gradient the search descends to escape an
+// all-saturated region. Area overshoot adds proportionally.
+func violation(c Candidate, areaBudget float64) float64 {
+	v := 0.0
+	if c.Saturated {
+		v += 1000 + c.LatencyNS
+	}
+	if areaBudget > 0 && c.AreaMM2 > areaBudget {
+		v += (c.AreaMM2 - areaBudget) * 100
+	}
+	return v
+}
+
+// dominates reports whether a constrained-dominates b: a feasible point
+// beats any infeasible one; two infeasible points compare by violation;
+// two feasible points compare by Pareto dominance over the minimization
+// objectives {latency, power, area}.
+func dominates(a, b Candidate, areaBudget float64) bool {
+	af, bf := feasible(a, areaBudget), feasible(b, areaBudget)
+	if af != bf {
+		return af
+	}
+	if !af {
+		return violation(a, areaBudget) < violation(b, areaBudget)
+	}
+	ao, bo := a.Objectives(), b.Objectives()
+	better := false
+	for i := range ao {
+		if ao[i] > bo[i]+1e-12 {
+			return false
+		}
+		if ao[i] < bo[i]-1e-12 {
+			better = true
+		}
+	}
+	return better
+}
+
+// nonDominatedSort partitions pop into fronts: fronts[0] is the
+// non-dominated set, fronts[1] the set dominated only by fronts[0], and so
+// on. Each front preserves ascending candidate index.
+func nonDominatedSort(pop []Candidate, areaBudget float64) [][]int {
+	n := len(pop)
+	domCount := make([]int, n)    // how many candidates dominate i
+	dominated := make([][]int, n) // who i dominates
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dominates(pop[i], pop[j], areaBudget) {
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			} else if dominates(pop[j], pop[i], areaBudget) {
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var cur []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			cur = append(cur, i)
+		}
+	}
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		sort.Ints(next)
+		cur = next
+	}
+	return fronts
+}
+
+// crowdingDistance returns the NSGA-II crowding distance of each member of
+// a front (indexed as front[i]); boundary points get +Inf so selection
+// keeps the objective extremes.
+func crowdingDistance(pop []Candidate, front []int) []float64 {
+	d := make([]float64, len(front))
+	if len(front) <= 2 {
+		for i := range d {
+			d[i] = math.Inf(1)
+		}
+		return d
+	}
+	order := make([]int, len(front)) // positions into front
+	for m := 0; m < 3; m++ {
+		for i := range order {
+			order[i] = i
+		}
+		obj := func(p int) float64 { return pop[front[p]].Objectives()[m] }
+		sort.SliceStable(order, func(a, b int) bool {
+			if obj(order[a]) != obj(order[b]) {
+				return obj(order[a]) < obj(order[b])
+			}
+			return front[order[a]] < front[order[b]]
+		})
+		lo, hi := obj(order[0]), obj(order[len(order)-1])
+		d[order[0]] = math.Inf(1)
+		d[order[len(order)-1]] = math.Inf(1)
+		if span := hi - lo; span > 1e-12 {
+			for k := 1; k < len(order)-1; k++ {
+				d[order[k]] += (obj(order[k+1]) - obj(order[k-1])) / span
+			}
+		}
+	}
+	return d
+}
+
+// selectNSGA picks k survivors from pop by rank then crowding distance —
+// the standard NSGA-II environmental selection. The returned indices are
+// deterministic for a given pop.
+func selectNSGA(pop []Candidate, areaBudget float64, k int) []int {
+	fronts := nonDominatedSort(pop, areaBudget)
+	var picked []int
+	for _, f := range fronts {
+		if len(picked)+len(f) <= k {
+			picked = append(picked, f...)
+			continue
+		}
+		need := k - len(picked)
+		if need <= 0 {
+			break
+		}
+		d := crowdingDistance(pop, f)
+		order := make([]int, len(f))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if d[order[a]] != d[order[b]] {
+				return d[order[a]] > d[order[b]]
+			}
+			return f[order[a]] < f[order[b]]
+		})
+		for _, p := range order[:need] {
+			picked = append(picked, f[p])
+		}
+		break
+	}
+	sort.Ints(picked)
+	return picked
+}
+
+// paretoFront returns the indices of the feasible non-dominated members of
+// pop, sorted by ascending latency (then power, then index). This is the
+// "current Pareto set" the frontier file persists and the search reports.
+func paretoFront(pop []Candidate, areaBudget float64) []int {
+	var idx []int
+	for i, c := range pop {
+		if feasible(c, areaBudget) {
+			idx = append(idx, i)
+		}
+	}
+	var front []int
+	for _, i := range idx {
+		dominated := false
+		for _, j := range idx {
+			if i != j && dominates(pop[j], pop[i], areaBudget) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	sort.SliceStable(front, func(a, b int) bool {
+		ca, cb := pop[front[a]], pop[front[b]]
+		if ca.LatencyNS != cb.LatencyNS {
+			return ca.LatencyNS < cb.LatencyNS
+		}
+		if ca.PowerW != cb.PowerW {
+			return ca.PowerW < cb.PowerW
+		}
+		return front[a] < front[b]
+	})
+	return front
+}
+
+// ParetoFront returns the indices of the feasible non-dominated members
+// of pop under the area budget, sorted by ascending latency — exported so
+// experiments can place reference designs (the paper's diagonal) relative
+// to a search's archive.
+func ParetoFront(pop []Candidate, areaBudget float64) []int {
+	return paretoFront(pop, areaBudget)
+}

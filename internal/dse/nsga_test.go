@@ -1,0 +1,137 @@
+package dse
+
+import (
+	"math"
+	"testing"
+)
+
+// cand builds a feasible candidate with the given objectives.
+func cand(lat, pow, area float64) Candidate {
+	return Candidate{LatencyNS: lat, PowerW: pow, AreaMM2: area}
+}
+
+func TestDominates(t *testing.T) {
+	budget := 10.0
+	a := cand(1, 1, 1)
+	b := cand(2, 2, 2)
+	if !dominates(a, b, budget) {
+		t.Error("strictly better point must dominate")
+	}
+	if dominates(b, a, budget) {
+		t.Error("strictly worse point must not dominate")
+	}
+	// Trade-off: better latency, worse power — neither dominates.
+	c := cand(1, 3, 1)
+	if dominates(c, b, budget) || dominates(b, c, budget) {
+		t.Error("trade-off points must be mutually non-dominating")
+	}
+	if dominates(a, a, budget) {
+		t.Error("a point must not dominate itself")
+	}
+	// Constrained domination: any feasible point beats any infeasible one.
+	sat := Candidate{LatencyNS: 0.1, PowerW: 0.1, AreaMM2: 0.1, Saturated: true}
+	if !dominates(b, sat, budget) {
+		t.Error("feasible must dominate saturated, whatever the objectives")
+	}
+	// Between two infeasible points, the smaller violation wins.
+	worse := Candidate{LatencyNS: 99, PowerW: 1, AreaMM2: 1, Saturated: true}
+	if !dominates(sat, worse, budget) {
+		t.Error("smaller constraint violation must dominate larger")
+	}
+	// Over-budget area is infeasible even when unsaturated.
+	over := cand(0.1, 0.1, budget+1)
+	if !dominates(b, over, budget) {
+		t.Error("within-budget must dominate over-budget")
+	}
+}
+
+func TestNonDominatedSortLayers(t *testing.T) {
+	budget := 10.0
+	pop := []Candidate{
+		cand(1, 1, 1), // front 0
+		cand(2, 2, 2), // front 1 (dominated only by pop[0])
+		cand(1, 2, 1), // front 1
+		cand(3, 3, 3), // front 2
+		cand(2, 1, 1), // front 1? dominated by pop[0] only -> front 1
+	}
+	fronts := nonDominatedSort(pop, budget)
+	if len(fronts) < 2 {
+		t.Fatalf("expected layered fronts, got %v", fronts)
+	}
+	if len(fronts[0]) != 1 || fronts[0][0] != 0 {
+		t.Errorf("front 0 = %v, want [0]", fronts[0])
+	}
+	// Every index appears exactly once.
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range fronts {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two fronts", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != len(pop) {
+		t.Errorf("fronts cover %d of %d points", total, len(pop))
+	}
+}
+
+func TestCrowdingDistanceBoundaries(t *testing.T) {
+	pop := []Candidate{
+		cand(1, 3, 1), cand(2, 2, 1), cand(3, 1, 1),
+	}
+	d := crowdingDistance(pop, []int{0, 1, 2})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[2], 1) {
+		t.Errorf("boundary points want +Inf crowding, got %v", d)
+	}
+	if math.IsInf(d[1], 0) {
+		t.Errorf("interior point must have finite crowding, got %v", d[1])
+	}
+}
+
+func TestSelectNSGATruncates(t *testing.T) {
+	budget := 10.0
+	var pop []Candidate
+	for i := 0; i < 9; i++ {
+		pop = append(pop, cand(float64(1+i%3), float64(3-i%3), 1))
+	}
+	keep := selectNSGA(pop, budget, 4)
+	if len(keep) != 4 {
+		t.Fatalf("kept %d, want 4", len(keep))
+	}
+	seen := map[int]bool{}
+	for _, i := range keep {
+		if i < 0 || i >= len(pop) || seen[i] {
+			t.Fatalf("bad selection %v", keep)
+		}
+		seen[i] = true
+	}
+}
+
+func TestParetoFrontFeasibleAndSorted(t *testing.T) {
+	budget := 10.0
+	pop := []Candidate{
+		cand(3, 1, 1),
+		cand(1, 3, 1),
+		cand(2, 2, 1),
+		cand(0.5, 0.5, budget+5), // infeasible: over budget
+		{LatencyNS: 0.1, PowerW: 0.1, AreaMM2: 1, Saturated: true},
+		cand(4, 4, 4), // dominated
+	}
+	front := paretoFront(pop, budget)
+	if len(front) != 3 {
+		t.Fatalf("front %v, want the three trade-off points", front)
+	}
+	for i := 1; i < len(front); i++ {
+		if pop[front[i-1]].LatencyNS > pop[front[i]].LatencyNS {
+			t.Error("front not latency-ascending")
+		}
+	}
+	for _, i := range front {
+		if !feasible(pop[i], budget) {
+			t.Errorf("infeasible point %d on front", i)
+		}
+	}
+}

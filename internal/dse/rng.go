@@ -1,0 +1,57 @@
+package dse
+
+// rng is a splitmix64 generator whose entire state is one uint64, so the
+// frontier file can persist the exact stream position (satellite: resume
+// must replay from the precise point the killed search reached, which
+// math/rand's opaque state makes awkward). Determinism matters more than
+// statistical strength here: the search only needs reproducible draws.
+type rng struct {
+	s uint64
+}
+
+func newRNG(seed int64) *rng {
+	// Mix the seed once so small seeds do not start in a low-entropy state.
+	r := &rng{s: uint64(seed)}
+	r.next()
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a draw in [0, n). The modulo bias is irrelevant at the
+// population sizes involved and keeps the draw count per decision fixed,
+// which the state serialization relies on.
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("dse: rng.Intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float64 returns a draw in [0, 1) with 53 bits of precision.
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// state and setState expose the stream position for the frontier file.
+func (r *rng) state() uint64     { return r.s }
+func (r *rng) setState(s uint64) { r.s = s }

@@ -27,6 +27,10 @@ type Scale struct {
 	// DSE bounds.
 	DSEPackets    int
 	DSECandidates int
+	// Multi-objective DSE search (the dse-search extension).
+	DSESearchPop    int
+	DSESearchGens   int
+	DSESearchBudget int
 }
 
 // Quick is the CI-sized preset.
@@ -40,6 +44,9 @@ func Quick() Scale {
 		CMPCycles:        8000,
 		DSEPackets:       300,
 		DSECandidates:    10,
+		DSESearchPop:     12,
+		DSESearchGens:    6,
+		DSESearchBudget:  120,
 	}
 }
 
@@ -55,6 +62,9 @@ func Full() Scale {
 		CMPCycles:        30000,
 		DSEPackets:       2000,
 		DSECandidates:    200,
+		DSESearchPop:     24,
+		DSESearchGens:    40,
+		DSESearchBudget:  900,
 	}
 }
 

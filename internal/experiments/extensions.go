@@ -35,6 +35,7 @@ func Extensions() []Runner {
 		{"scale", "Latency scaling to 16x16 and 32x32 meshes", ScaleUp},
 		{"adversarial", "Synthesized adversarial workloads (hotspot, MC incast, ...)", Adversarial},
 		{"latency-breakdown", "Causal latency attribution under hotspot traffic", LatencyBreakdown},
+		{"dse-search", "Multi-objective evolutionary placement search", DSESearch},
 	}
 }
 

@@ -47,7 +47,7 @@ func TestPatternsAllRun(t *testing.T) {
 			t.Errorf("missing pattern %s", p)
 		}
 	}
-	if len(AllWithExtensions()) != 25 {
+	if len(AllWithExtensions()) != 26 {
 		t.Errorf("extensions list wrong: %d", len(AllWithExtensions()))
 	}
 }

@@ -1,102 +1,35 @@
 package experiments
 
-// Shared cache warmups. Every default-trace CMP run warms its caches from
-// the same deterministic per-core trace generators, and the warm state is
-// independent of the layout, topology and memory-controller placement
-// (warmup touches only L1s, home directories and trace positions — see
-// cmp.WarmSnapshot). So all seven Fig11/Fig12 layouts of one benchmark,
-// Fig10's mesh/torus pairs and Fig13's prefetch-off runs share one
-// (bench, tiles, entries, line size, prefetch) warmup. Instead of each run
-// replaying the warmup trace, the first arrival warms a template system,
-// snapshots it, and every run — first included — restores the checkpoint.
-// The checkpoint rides the runcache, so with a disk tier configured, a
-// later process skips warmup replay entirely.
-//
-// Restored and directly-warmed systems are bit-identical (pinned by the
-// cmp snapshot tests and TestFigureOutputIdenticalWithWarmupSharing), so
-// figure output cannot depend on this toggle.
+// Shared cache warmups. The mechanism lives in internal/warm (it is also
+// the design-space search's per-candidate warm-restore path); these
+// wrappers keep the experiments-facing names and wire the Scale's warmup
+// budget through. See the warm package comment for the sharing contract.
 
 import (
 	"context"
-	"fmt"
-	"sync/atomic"
 
 	"heteronoc/internal/cmp"
 	"heteronoc/internal/core"
-	"heteronoc/internal/runcache"
-	"heteronoc/internal/trace"
+	"heteronoc/internal/warm"
 )
-
-var (
-	warmupSharing atomic.Bool
-
-	// warmRestores / warmFallbacks let tests assert the sharing path
-	// actually ran rather than silently falling back.
-	warmRestores  atomic.Int64
-	warmFallbacks atomic.Int64
-)
-
-func init() { warmupSharing.Store(true) }
 
 // SetWarmupSharing toggles checkpoint-based warmup sharing (the
 // -nowarmshare flag of cmd/experiments). Output is identical either way;
 // off means every run replays its own warmup trace.
-func SetWarmupSharing(on bool) { warmupSharing.Store(on) }
+func SetWarmupSharing(on bool) { warm.SetSharing(on) }
 
 // WarmupSharingStats returns how many runs restored a shared warm
 // checkpoint and how many fell back to a direct warmup.
-func WarmupSharingStats() (restored, fellBack int64) {
-	return warmRestores.Load(), warmFallbacks.Load()
-}
+func WarmupSharingStats() (restored, fellBack int64) { return warm.Stats() }
 
-// warmKey addresses a shared warm checkpoint. Deliberately narrower than
-// appKey: no layout, no MC placement, no scale name — warm state depends
-// on none of them, and the narrow key is what collapses the per-layout
-// warmups of a figure (and across figures) into one.
+// warmKey addresses a shared warm checkpoint (see warm.Key).
 func warmKey(bench string, n, entries, lineBytes int, prefetch bool) string {
-	return fmt.Sprintf("warm|%s|n=%d|e=%d|lb=%d|pf=%t", bench, n, entries, lineBytes, prefetch)
+	return warm.Key(bench, n, entries, lineBytes, prefetch)
 }
 
 // warmSystem brings the freshly built s to its post-warmup state, via a
 // shared checkpoint when sharing is enabled and applicable. Equivalent to
 // s.Warmup(sc.CMPWarmupEntries) bit for bit.
 func warmSystem(ctx context.Context, s *cmp.System, l core.Layout, bench string, sc Scale) {
-	entries := sc.CMPWarmupEntries
-	if !warmupSharing.Load() || !runcache.Enabled() || entries <= 0 {
-		s.Warmup(entries)
-		return
-	}
-	n := l.Mesh.NumTerminals()
-	key := warmKey(bench, n, entries, s.LineBytes(), s.PrefetchEnabled())
-	snap, err := runcache.ForCtx(ctx, key, func(context.Context) ([]byte, error) {
-		t, err := warmTemplate(l, bench, s.PrefetchEnabled())
-		if err != nil {
-			return nil, err
-		}
-		t.Warmup(entries)
-		return t.WarmSnapshot()
-	})
-	if err == nil && len(snap) > 0 {
-		if rerr := s.RestoreWarmSnapshot(snap); rerr == nil {
-			warmRestores.Add(1)
-			return
-		}
-	}
-	// Defensive: a failed restore degrades to the direct path, which
-	// produces the identical state (just slower).
-	warmFallbacks.Add(1)
-	s.Warmup(entries)
-}
-
-// warmTemplate builds a minimal system to generate a warm checkpoint: the
-// baseline layout of the same size with the bench's standard trace
-// generators. Its warm state equals that of any same-sized layout
-// (TestWarmSnapshotSharedAcrossLayouts).
-func warmTemplate(l core.Layout, bench string, prefetch bool) (*cmp.System, error) {
-	trs, err := trace.WorkloadTraces(bench, l.Mesh.NumTerminals(), 128)
-	if err != nil {
-		return nil, err
-	}
-	w, h := l.Mesh.Dims()
-	return cmp.New(cmp.Config{Layout: core.NewBaseline(w, h), Traces: trs, Prefetch: prefetch})
+	warm.System(ctx, s, l, bench, sc.CMPWarmupEntries)
 }

@@ -5,12 +5,12 @@ import (
 	"testing"
 
 	"heteronoc/internal/runcache"
+	"heteronoc/internal/warm"
 )
 
 // resetWarmShareStats zeroes the restore/fallback counters for one test.
 func resetWarmShareStats() {
-	warmRestores.Store(0)
-	warmFallbacks.Store(0)
+	warm.ResetStats()
 }
 
 // TestFigureOutputIdenticalWithWarmupSharing is the warmup-sharing

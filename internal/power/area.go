@@ -1,0 +1,16 @@
+package power
+
+import "heteronoc/internal/core"
+
+// Area returns the total router area of a layout in mm², summing the
+// per-class synthesis numbers of Table 2 (core.ClassSpec.AreaMM2). It is
+// the area objective of the design-space search: a placement with more
+// big routers buys latency with silicon, and the search's area budget is
+// expressed against this total.
+func Area(l core.Layout) float64 {
+	specs := core.Specs()
+	nb, ns, nbig := l.Counts()
+	return float64(nb)*specs[core.ClassBaseline].AreaMM2 +
+		float64(ns)*specs[core.ClassSmall].AreaMM2 +
+		float64(nbig)*specs[core.ClassBig].AreaMM2
+}

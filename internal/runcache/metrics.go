@@ -31,6 +31,9 @@ func RegisterMetrics(reg *obs.Registry) {
 			}
 			return 0
 		})
+	reg.RegisterCounter("runcache_executions_total",
+		"recipes that actually ran (no tier satisfied the key)", nil,
+		func() float64 { return float64(execs.Load()) })
 	reg.RegisterCounter("runcache_disk_hits_total",
 		"For calls satisfied from the persistent disk tier", nil,
 		func() float64 { return float64(diskHits.Load()) })

@@ -64,6 +64,7 @@ var (
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	execs  atomic.Int64
 )
 
 func init() { enabled.Store(true) }
@@ -82,12 +83,20 @@ func Reset() {
 	mu.Unlock()
 	hits.Store(0)
 	misses.Store(0)
+	execs.Store(0)
 }
 
 // Stats returns the cumulative hit and miss counts. A hit is a Do call
 // that found an existing entry (including one still being computed by a
 // concurrent caller); a miss executed the function.
 func Stats() (hit, miss int64) { return hits.Load(), misses.Load() }
+
+// Execs returns how many recipes actually ran (neither tier satisfied the
+// key) since the last Reset. A memory miss that the disk tier answers does
+// not count, so a search re-run that touches only cached work reports a
+// zero delta here — the "repeat run performs zero simulations" property
+// the dse tests and CI gate assert.
+func Execs() int64 { return execs.Load() }
 
 // Do returns the memoized result for key, running fn exactly once per key
 // across all goroutines. With the cache disabled it runs fn directly.
@@ -178,6 +187,7 @@ func ForCtx[T any](ctx context.Context, key string, fn func(ctx context.Context)
 		if ok {
 			return v, nil
 		}
+		execs.Add(1)
 		reqstat.Exec(ctx)
 		exec := span.Child("execute")
 		v, err := fn(obs.ContextWithSpan(ctx, exec))

@@ -88,48 +88,57 @@ func (c *Client) Run(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	var out Response
+	if err := c.retry(ctx, "/run", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// retry drives the attempt loop for one POST: retryable refusals back
+// off and go again, everything else surfaces immediately.
+func (c *Client) retry(ctx context.Context, path string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.Retries.Add(1)
 			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		resp, err := c.once(ctx, body)
+		err := c.once(ctx, path, body, out)
 		if err == nil {
-			return resp, nil
+			return nil
 		}
 		lastErr = err
 		if !retryable(err) {
-			return nil, err
+			return err
 		}
 	}
-	return nil, fmt.Errorf("serve: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+	return fmt.Errorf("serve: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
 }
 
-// once performs a single POST /run round trip.
-func (c *Client) once(ctx context.Context, body []byte) (*Response, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run", bytes.NewReader(body))
+// once performs a single POST round trip, decoding a 200 body into out.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hr.Header.Set("Content-Type", "application/json")
 	res, err := c.HTTP.Do(hr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer res.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if res.StatusCode == http.StatusOK {
-		var out Response
-		if err := json.Unmarshal(data, &out); err != nil {
-			return nil, fmt.Errorf("serve: bad response body: %w", err)
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("serve: bad response body: %w", err)
 		}
-		return &out, nil
+		return nil
 	}
 	var p ErrorPayload
 	_ = json.Unmarshal(data, &p) // tolerate non-JSON error bodies
@@ -139,7 +148,7 @@ func (c *Client) once(ctx context.Context, body []byte) (*Response, error) {
 			apiErr.Payload.RetryAfterSec = float64(sec)
 		}
 	}
-	return nil, apiErr
+	return apiErr
 }
 
 // retryable classifies an error as worth another attempt.

@@ -171,6 +171,9 @@ type job struct {
 	req    Request
 	runner experiments.Runner
 	scale  experiments.Scale
+	// eval marks a design-space evaluation batch (POST /eval) instead of
+	// an experiment run; runner and scale are unused for those.
+	eval   *EvalRequest
 	ctx    context.Context
 	cancel context.CancelFunc
 	col    *reqstat.Collector
@@ -194,6 +197,7 @@ func (j *job) finish(s *Server, outcome string) {
 
 type jobResult struct {
 	resp *Response
+	eval *EvalResponse
 	err  error
 }
 
@@ -274,6 +278,7 @@ func New(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/eval", s.handleEval)
 	s.mux.HandleFunc("/spans", s.handleSpans)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -337,6 +342,10 @@ func (s *Server) runJob(j *job) {
 	}
 	j.qspan.End()
 	s.cfg.Chaos.Hit(chaos.PointWorkerPanic)
+	if j.eval != nil {
+		s.runEvalJob(j)
+		return
+	}
 	_, resumes0 := s.sus.Stats()
 	start := time.Now()
 	run := j.span.Child("run")
@@ -560,7 +569,11 @@ func (s *Server) writeResult(w http.ResponseWriter, res jobResult) {
 	case res.err == nil:
 		s.mRequests[http.StatusOK].Inc()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(res.resp)
+		if res.eval != nil {
+			json.NewEncoder(w).Encode(res.eval)
+		} else {
+			json.NewEncoder(w).Encode(res.resp)
+		}
 	case errors.Is(res.err, suspend.ErrSuspended):
 		// The run checkpointed itself; the same request against a
 		// restarted server resumes it.

@@ -39,6 +39,11 @@
 # readers are file-backed chunked traces, repositioned by SeekTo instead
 # of entry replay).
 #
+# The design-space search lands as "dse_evals_per_sec" (effective
+# candidate-evaluation throughput of BenchmarkDSEGeneration, cache answers
+# included) and "dse_cache_hit_ratio" (the fraction of evaluations answered
+# without a simulation — the cross-run dedup rate the search banks on).
+#
 # The observability benches (BenchmarkNetworkCycleTraced/-Sampled) are
 # folded into two per-entry overhead fields: "tracer_overhead_pct" (cost of
 # a full-detail flit tracer vs the bare kernel) and "metrics_overhead_pct"
@@ -183,6 +188,8 @@ entry=$(awk -v commit="$commit" -v date="$date" -v speedup="$speedup" \
 	for (i = 4; i <= NF; i++) {
 		if ($(i+1) == "B/op") b[name] = b[name] " " $i
 		if ($(i+1) == "allocs/op") a[name] = a[name] " " $i
+		if ($(i+1) == "evals/s") ev[name] = ev[name] " " $i
+		if ($(i+1) == "cache_hit_ratio") hr[name] = hr[name] " " $i
 	}
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
@@ -205,6 +212,10 @@ END {
 		printf "\"serve_p50_ms\": %s, \"serve_p99_ms\": %s, ", serve_p50, serve_p99
 	if (serve_hit != "")
 		printf "\"serve_hit_ratio\": %s, ", serve_hit
+	if ("BenchmarkDSEGeneration" in ev)
+		printf "\"dse_evals_per_sec\": %g, ", median(ev["BenchmarkDSEGeneration"])
+	if ("BenchmarkDSEGeneration" in hr)
+		printf "\"dse_cache_hit_ratio\": %g, ", median(hr["BenchmarkDSEGeneration"])
 	if ("BenchmarkCheckpointRestore" in ns)
 		printf "\"ckpt_restore_ns_per_op\": %g, ", median(ns["BenchmarkCheckpointRestore"])
 	if ("BenchmarkFaultSweep" in ns)
